@@ -1,0 +1,159 @@
+// Command lla-node runs one LLA node — a resource price agent or a task
+// controller — communicating over TCP, so a workload's optimization can be
+// spread across processes and machines (Section 4.1 of the paper).
+//
+// The deployment is described by a workload JSON (see cmd/lla-workload, or
+// the built-in names "base" and "prototype") and a registry JSON mapping
+// logical node names to host:port. Logical names are "res/<resourceID>",
+// "ctl/<taskName>" and optionally "coordinator".
+//
+//	lla-node -workload base -registry reg.json -role resource -id r0 -rounds 500
+//	lla-node -workload base -registry reg.json -role controller -id task1 -rounds 500
+//	lla-node -workload base -demo -rounds 500        # all nodes in-process
+//	lla-node -workload base -print-registry          # template registry
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lla/internal/core"
+	"lla/internal/dist"
+	"lla/internal/transport"
+	"lla/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lla-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lla-node", flag.ContinueOnError)
+	workloadArg := fs.String("workload", "base", `workload: "base", "prototype", or a JSON file path`)
+	registryPath := fs.String("registry", "", "JSON file mapping logical node names to host:port")
+	role := fs.String("role", "", `node role: "resource" or "controller"`)
+	id := fs.String("id", "", "resource ID or task name this node hosts")
+	rounds := fs.Int("rounds", 500, "number of synchronous optimization rounds")
+	demo := fs.Bool("demo", false, "run the entire deployment in-process over TCP loopback")
+	printRegistry := fs.Bool("print-registry", false, "print a template registry for the workload and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := loadWorkload(*workloadArg)
+	if err != nil {
+		return err
+	}
+
+	if *printRegistry {
+		reg := make(map[string]string)
+		for _, addr := range dist.Addresses(w) {
+			reg[addr] = "127.0.0.1:0"
+		}
+		out, err := json.MarshalIndent(reg, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+
+	if *demo {
+		return runDemo(w, *rounds)
+	}
+
+	if *registryPath == "" {
+		return fmt.Errorf("-registry is required (or use -demo / -print-registry)")
+	}
+	raw, err := os.ReadFile(*registryPath)
+	if err != nil {
+		return err
+	}
+	registry := make(map[string]string)
+	if err := json.Unmarshal(raw, &registry); err != nil {
+		return fmt.Errorf("parsing registry: %w", err)
+	}
+	net := transport.NewTCP(registry)
+
+	switch *role {
+	case "resource":
+		fmt.Fprintf(os.Stderr, "resource node %s: running %d rounds\n", *id, *rounds)
+		mu, err := dist.RunResource(w, core.Config{}, net, *id, *rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resource %s final price mu=%.4f\n", *id, mu)
+		return nil
+	case "controller":
+		fmt.Fprintf(os.Stderr, "controller node %s: running %d rounds\n", *id, *rounds)
+		lats, utility, err := dist.RunController(w, core.Config{}, net, *id, *rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("task %s final utility %.4f\n", *id, utility)
+		names := make([]string, 0, len(lats))
+		for n := range lats {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %s latency %.3f ms\n", n, lats[n])
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown role %q (want resource or controller)", *role)
+	}
+}
+
+// loadWorkload resolves built-in names or reads a JSON file.
+func loadWorkload(arg string) (*workload.Workload, error) {
+	switch arg {
+	case "base":
+		return workload.Base(), nil
+	case "prototype":
+		return workload.Prototype(), nil
+	}
+	raw, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, err
+	}
+	var w workload.Workload
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, fmt.Errorf("parsing workload %s: %w", arg, err)
+	}
+	return &w, nil
+}
+
+// runDemo hosts the full deployment in one process over TCP loopback.
+func runDemo(w *workload.Workload, rounds int) error {
+	registry := make(map[string]string)
+	for _, addr := range dist.Addresses(w) {
+		registry[addr] = "127.0.0.1:0"
+	}
+	rt, err := dist.New(w, core.Config{}, transport.NewTCP(registry))
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	fmt.Fprintf(os.Stderr, "demo: %d tasks, %d resources, %d rounds over TCP loopback\n",
+		len(w.Tasks), len(w.Resources), rounds)
+	res, err := rt.RunUntilConverged(rounds, 1e-7, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged=%v rounds=%d utility=%.3f\n", res.Converged, res.Rounds, res.Utility)
+	for ti, t := range w.Tasks {
+		fmt.Printf("task %s:", t.Name)
+		for si, s := range t.Subtasks {
+			fmt.Printf(" %s=%.2fms", s.Name, res.LatMs[ti][si])
+		}
+		fmt.Println()
+	}
+	return nil
+}

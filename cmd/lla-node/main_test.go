@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-workload", "/nonexistent.json", "-demo"},
+		{"-workload", "base", "-role", "warp", "-registry", "/tmp/x"},
+		{"-workload", "base"}, // no registry, no demo
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestPrintRegistry(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-workload", "base", "-print-registry"})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data := make([]byte, 1<<16)
+	n, _ := r.Read(data)
+	registry := make(map[string]string)
+	if err := json.Unmarshal(data[:n], &registry); err != nil {
+		t.Fatalf("registry output not JSON: %v", err)
+	}
+	// 1 coordinator + 3 controllers + 8 resources.
+	if len(registry) != 12 {
+		t.Fatalf("registry has %d entries, want 12", len(registry))
+	}
+	for k := range registry {
+		if !strings.HasPrefix(k, "res/") && !strings.HasPrefix(k, "ctl/") && k != "coordinator" {
+			t.Errorf("unexpected registry key %q", k)
+		}
+	}
+}
+
+func TestDemoPrototype(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demo spins up a full TCP deployment")
+	}
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run([]string{"-workload", "prototype", "-demo", "-rounds", "300"}); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+}
+
+func TestRegistryFileErrors(t *testing.T) {
+	if err := run([]string{"-workload", "base", "-registry", "/nonexistent.json", "-role", "resource", "-id", "r0"}); err == nil {
+		t.Fatal("missing registry should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "reg.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-workload", "base", "-registry", bad, "-role", "resource", "-id", "r0"}); err == nil {
+		t.Fatal("corrupt registry should fail")
+	}
+}
+
+func TestLoadWorkloadJSONFile(t *testing.T) {
+	// A valid workload file loads.
+	w, err := loadWorkload("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != w.Name {
+		t.Errorf("round trip changed name: %q", back.Name)
+	}
+	// Corrupt file fails.
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadWorkload(badPath); err == nil {
+		t.Fatal("corrupt workload should fail")
+	}
+}

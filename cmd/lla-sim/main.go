@@ -1,0 +1,99 @@
+// Command lla-sim regenerates the paper's evaluation artifacts: Table 1 and
+// Figures 5-8. Each experiment prints its tables, a downsampled view of its
+// figure series, and paper-vs-measured notes; -csv dumps the full series for
+// external plotting.
+//
+//	lla-sim -experiment table1
+//	lla-sim -experiment all -csv out/
+//	lla-sim -experiment fig8 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lla/internal/eval"
+	"lla/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lla-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lla-sim", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "experiment: table1, fig5, fig6, fig7, fig8, percentiles, ablation-weights, ablation-baselines, adaptation, all")
+	quick := fs.Bool("quick", false, "shrink iteration budgets (smoke test)")
+	seed := fs.Int64("seed", 1, "simulation seed (fig8)")
+	csvDir := fs.String("csv", "", "directory to write full series CSVs into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func(eval.Options) (*eval.Result, error){
+		"table1":             eval.Table1,
+		"fig5":               eval.Fig5,
+		"fig6":               eval.Fig6,
+		"fig7":               eval.Fig7,
+		"fig8":               eval.Fig8,
+		"percentiles":        eval.Percentiles,
+		"ablation-weights":   eval.AblationWeights,
+		"ablation-baselines": eval.AblationBaselines,
+		"adaptation":         eval.Adaptation,
+	}
+	order := []string{
+		"table1", "fig5", "fig6", "fig7", "fig8",
+		"percentiles", "ablation-weights", "ablation-baselines", "adaptation",
+	}
+
+	var selected []string
+	if *experiment == "all" {
+		selected = order
+	} else if _, ok := runners[*experiment]; ok {
+		selected = []string{*experiment}
+	} else {
+		return fmt.Errorf("unknown experiment %q (see -h for the list)", *experiment)
+	}
+
+	opts := eval.Options{Quick: *quick, Seed: *seed}
+	for _, name := range selected {
+		res, err := runners[name](opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(res.Render())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeCSVs dumps each result's series and tables as CSV files.
+func writeCSVs(dir string, res *eval.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if len(res.Series) > 0 {
+		path := filepath.Join(dir, res.ID+"_series.csv")
+		if err := os.WriteFile(path, []byte(stats.MergeCSV(res.Series...)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	for i, t := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", res.ID, i))
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}

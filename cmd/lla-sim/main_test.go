@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	// Redirect stdout to keep test output readable.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run([]string{"-experiment", "table1", "-quick"}); err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run([]string{"-experiment", "fig5", "-quick", "-csv", dir}); err != nil {
+		t.Fatalf("fig5: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig5_series.csv")); err != nil {
+		t.Errorf("series CSV missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig5_table0.csv")); err != nil {
+		t.Errorf("table CSV missing: %v", err)
+	}
+}

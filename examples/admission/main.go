@@ -1,0 +1,135 @@
+// Admission: admission control layered on top of LLA, as the paper suggests
+// (Section 3.2: "We assume any admission control is layered on top of our
+// approach"). Tasks ask to join a running system; each candidate is first
+// screened by the static necessary conditions and then admitted only if LLA
+// converges to a feasible allocation with it included (the paper's
+// Section 5.4 schedulability test). Rejected tasks leave the running
+// allocation untouched; admitted tasks warm-start from the current prices.
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lla"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "admission:", err)
+		os.Exit(1)
+	}
+}
+
+// pipeline builds an n-stage chain task across the cluster's resources.
+func pipeline(name string, criticalMs float64, execMs float64, resources []string) (*lla.Task, error) {
+	b := lla.NewTask(name, criticalMs).Trigger(lla.Periodic(100))
+	var names []string
+	for i, r := range resources {
+		sn := fmt.Sprintf("%s-s%d", name, i)
+		b.Subtask(sn, r, execMs)
+		names = append(names, sn)
+	}
+	b.Chain(names...)
+	return b.Build()
+}
+
+// admit runs the two-stage admission test for candidate inside workload w
+// (already containing it). It returns whether the system remains
+// schedulable, using a fresh engine so the running system is not disturbed.
+func admit(w *lla.Workload) (bool, string) {
+	// Stage 1: static necessary conditions (cheap pre-filter).
+	rep, err := lla.AnalyzeWorkload(w)
+	if err != nil {
+		return false, err.Error()
+	}
+	if !rep.Feasible() {
+		return false, "rejected by static floors: " + rep.String()
+	}
+	// Stage 2: the sufficient test — run LLA and require feasible
+	// convergence (Section 5.4).
+	engine, err := lla.NewEngine(w, lla.Config{})
+	if err != nil {
+		return false, err.Error()
+	}
+	snap, ok := engine.RunUntilConverged(4000, 1e-7, 20, 1e-3)
+	if !ok || !snap.Feasible(1e-3) {
+		return false, fmt.Sprintf("LLA does not converge feasibly (resViol %.3f, pathViol %.3f)",
+			snap.MaxResourceViolation, snap.MaxPathViolationFrac)
+	}
+	return true, fmt.Sprintf("feasible at utility %.2f", snap.Utility)
+}
+
+func run() error {
+	resources := []lla.Resource{
+		{ID: "node-a", Kind: lla.CPU, Availability: 1, LagMs: 1},
+		{ID: "node-b", Kind: lla.CPU, Availability: 1, LagMs: 1},
+		{ID: "wan", Kind: lla.Link, Availability: 0.8, LagMs: 2},
+	}
+	resIDs := []string{"node-a", "node-b", "wan"}
+
+	// The running system starts with one resident task.
+	resident, err := pipeline("resident", 120, 4, resIDs)
+	if err != nil {
+		return err
+	}
+	w := &lla.Workload{
+		Name:      "admission",
+		Tasks:     []*lla.Task{resident},
+		Resources: resources,
+		Curves:    map[string]lla.Curve{"resident": lla.Linear{K: 2, CMs: 120}},
+	}
+	engine, err := lla.NewEngine(w, lla.Config{})
+	if err != nil {
+		return err
+	}
+	snap, _ := engine.RunUntilConverged(4000, 1e-7, 20, 1e-3)
+	fmt.Printf("running system: 1 task, utility %.2f\n\n", snap.Utility)
+
+	// A stream of candidates with progressively tighter demands.
+	candidates := []struct {
+		name     string
+		critical float64
+		exec     float64
+	}{
+		{"batch-analytics", 400, 6},
+		{"interactive", 90, 5},
+		{"tight-deadline", 25, 4}, // needs ~(4+lag)/share per stage; infeasible
+		{"impossible", 10, 5},     // fails even the static floors
+	}
+
+	for _, c := range candidates {
+		cand, err := pipeline(c.name, c.critical, c.exec, resIDs)
+		if err != nil {
+			return err
+		}
+		trial := w.Clone()
+		trial.Tasks = append(trial.Tasks, cand)
+		trial.Curves[c.name] = lla.Linear{K: 2, CMs: c.critical}
+
+		ok, why := admit(trial)
+		if !ok {
+			fmt.Printf("REJECT %-16s %s\n", c.name, why)
+			continue
+		}
+		fmt.Printf("ADMIT  %-16s %s\n", c.name, why)
+		// Enact: swap the running engine onto the accepted workload,
+		// warm-starting from the current prices.
+		w = trial
+		if err := engine.ReplaceWorkload(w); err != nil {
+			return err
+		}
+		snap, converged := engine.RunUntilConverged(4000, 1e-7, 20, 1e-3)
+		fmt.Printf("       system now %d tasks, re-converged=%v at iteration %d, utility %.2f\n",
+			len(w.Tasks), converged, snap.Iteration, snap.Utility)
+	}
+
+	fmt.Println("\nfinal allocation:")
+	final := engine.Snapshot()
+	for ti, t := range w.Tasks {
+		fmt.Printf("  %-16s crit.path %6.2f / %6.0f ms\n", t.Name, final.CriticalPathMs[ti], t.CriticalMs)
+	}
+	return nil
+}

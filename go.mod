@@ -1,0 +1,3 @@
+module lla
+
+go 1.22

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lla/internal/price"
+	"lla/internal/share"
+	"lla/internal/task"
+	"lla/internal/utility"
+	"lla/internal/workload"
+)
+
+// newTestProblem compiles a one-task chain over two resources.
+func newTestProblem(t *testing.T, curve utility.Curve) *Problem {
+	t.Helper()
+	tk := task.NewBuilder("t", 100).
+		Subtask("a", "r0", 3).
+		Subtask("b", "r1", 2).
+		Chain("a", "b").
+		MustBuild()
+	w := &workload.Workload{
+		Name:  "unit",
+		Tasks: []*task.Task{tk},
+		Resources: []share.Resource{
+			{ID: "r0", Kind: share.CPU, Availability: 1, LagMs: 1},
+			{ID: "r1", Kind: share.Link, Availability: 1, LagMs: 1},
+		},
+		Curves: map[string]utility.Curve{"t": curve},
+	}
+	p, err := Compile(w, task.WeightPathNormalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fixedStep() price.StepSizer { return &price.Fixed{Value: 1} }
+
+func TestControllerInitialLatenciesAreFairSplit(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	c := NewController(p, 0, fixedStep, 1, false, 30)
+	// Each subtask is alone on its resource: fair share = full availability
+	// -> latency = (c+l)/1.
+	if math.Abs(c.LatMs[0]-4) > 1e-12 || math.Abs(c.LatMs[1]-3) > 1e-12 {
+		t.Errorf("initial latencies = %v, want [4 3]", c.LatMs)
+	}
+}
+
+func TestControllerClosedFormAllocation(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	c := NewController(p, 0, fixedStep, 1, false, 30)
+	// With mu = [16, 9], lambda = 0, w = 1, |f'| = 1:
+	// lat_a = sqrt(16*4/1) = 8; lat_b = sqrt(9*3/1) ≈ 5.196.
+	c.AllocateLatencies([]float64{16, 9})
+	if math.Abs(c.LatMs[0]-8) > 1e-9 {
+		t.Errorf("lat_a = %v, want 8", c.LatMs[0])
+	}
+	if math.Abs(c.LatMs[1]-math.Sqrt(27)) > 1e-9 {
+		t.Errorf("lat_b = %v, want sqrt(27)", c.LatMs[1])
+	}
+}
+
+func TestControllerPathPriceRaisesUnderViolation(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	c := NewController(p, 0, fixedStep, 1, false, 30)
+	// Force the path over its critical time.
+	c.LatMs[0], c.LatMs[1] = 80, 40 // sum 120 > C=100
+	c.UpdatePathPrices(nil)
+	if c.Lambda[0] <= 0 {
+		t.Errorf("lambda = %v, want positive after violation", c.Lambda[0])
+	}
+	// With slack, the price projects back to zero.
+	c.LatMs[0], c.LatMs[1] = 10, 10
+	for i := 0; i < 10; i++ {
+		c.UpdatePathPrices(nil)
+	}
+	if c.Lambda[0] != 0 {
+		t.Errorf("lambda = %v, want 0 after sustained slack", c.Lambda[0])
+	}
+}
+
+func TestControllerZeroPriceTakesMinLatency(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	c := NewController(p, 0, fixedStep, 1, false, 30)
+	c.AllocateLatencies([]float64{0, 0})
+	if c.LatMs[0] != p.Tasks[0].LatMinMs[0] || c.LatMs[1] != p.Tasks[0].LatMinMs[1] {
+		t.Errorf("free resources should give minimum latencies, got %v", c.LatMs)
+	}
+}
+
+func TestControllerHugePriceClampsAtMax(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	c := NewController(p, 0, fixedStep, 1, false, 30)
+	c.AllocateLatencies([]float64{1e12, 1e12})
+	if c.LatMs[0] != p.Tasks[0].LatMaxMs[0] || c.LatMs[1] != p.Tasks[0].LatMaxMs[1] {
+		t.Errorf("expensive resources should clamp at max latencies, got %v (max %v)",
+			c.LatMs, p.Tasks[0].LatMaxMs)
+	}
+}
+
+func TestControllerNonlinearInnerLoopConverges(t *testing.T) {
+	p := newTestProblem(t, utility.Quadratic{A: 1000, B: 0.1})
+	c := NewController(p, 0, fixedStep, 1, false, 50)
+	c.AllocateLatencies([]float64{20, 20})
+	// The fixed point satisfies the stationarity condition:
+	// w·f'(L) = mu·share'(lat) for interior latencies.
+	agg := 0.0
+	for si, w := range p.Tasks[0].Weights {
+		agg += w * c.LatMs[si]
+	}
+	for si := range c.LatMs {
+		lat := c.LatMs[si]
+		if lat <= p.Tasks[0].LatMinMs[si]+1e-9 || lat >= p.Tasks[0].LatMaxMs[si]-1e-9 {
+			continue
+		}
+		lhs := p.Tasks[0].Weights[si] * p.Tasks[0].Curve.Slope(agg)
+		rhs := 20 * p.Tasks[0].Share[si].Deriv(lat)
+		if math.Abs(lhs-rhs) > 1e-6*math.Abs(lhs) {
+			t.Errorf("subtask %d: stationarity residual %v vs %v", si, lhs, rhs)
+		}
+	}
+}
+
+func TestControllerResetPrices(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	c := NewController(p, 0, fixedStep, 1, false, 30)
+	c.LatMs[0], c.LatMs[1] = 80, 40
+	c.UpdatePathPrices(nil)
+	if c.Lambda[0] == 0 {
+		t.Fatal("setup failed: lambda should be positive")
+	}
+	c.ResetPrices()
+	if c.Lambda[0] != 0 {
+		t.Errorf("lambda = %v after reset, want 0", c.Lambda[0])
+	}
+}
+
+func TestControllerSharesAndCriticalPath(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	c := NewController(p, 0, fixedStep, 1, false, 30)
+	c.LatMs[0], c.LatMs[1] = 8, 6
+	shares := c.Shares()
+	if math.Abs(shares[0]-0.5) > 1e-12 || math.Abs(shares[1]-0.5) > 1e-12 {
+		t.Errorf("shares = %v, want [0.5 0.5]", shares)
+	}
+	cp, pi := c.CriticalPathMs()
+	if math.Abs(cp-14) > 1e-12 || pi != 0 {
+		t.Errorf("critical path = %v (path %d), want 14 (path 0)", cp, pi)
+	}
+	if u := c.Utility(); math.Abs(u-(200-14)) > 1e-12 {
+		t.Errorf("utility = %v, want 186", u)
+	}
+}
+
+func TestResourceAgentPriceDynamics(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	a := NewResourceAgent(p, 0, fixedStep(), 1, false, 1)
+	if a.Congested(1.0) {
+		t.Error("exact saturation should be within the congestion margin")
+	}
+	if !a.Congested(1.05) {
+		t.Error("5% overload should be congested")
+	}
+	a.UpdatePrice(1.5) // overload: price rises
+	if a.Mu <= 1 {
+		t.Errorf("mu = %v, want > 1 after overload", a.Mu)
+	}
+	high := a.Mu
+	a.UpdatePrice(0.5) // slack: price falls
+	if a.Mu >= high {
+		t.Errorf("mu = %v, want < %v after slack", a.Mu, high)
+	}
+	a.ResetPrice(1)
+	if a.Mu != 1 {
+		t.Errorf("mu = %v after reset, want 1", a.Mu)
+	}
+}
+
+func TestResourceAgentShareSum(t *testing.T) {
+	p := newTestProblem(t, utility.Linear{K: 2, CMs: 100})
+	a := NewResourceAgent(p, 0, fixedStep(), 1, false, 1)
+	lat := [][]float64{{8, 6}}
+	sum := a.ShareSum(func(ti int) []float64 { return lat[ti] })
+	// r0 hosts only subtask a: share = 4/8 = 0.5.
+	if math.Abs(sum-0.5) > 1e-12 {
+		t.Errorf("share sum = %v, want 0.5", sum)
+	}
+}
+
+// Mixed-curve random workloads exercise the nonlinear path at scale: LLA
+// must still converge to feasible KKT points.
+func TestEngineMixedCurveRandomWorkloads(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := workload.DefaultRandomConfig(seed)
+		cfg.MixedCurves = true
+		cfg.SlackFactor = 10
+		w, err := workload.Random(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(w, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, ok := e.RunUntilConverged(10000, 1e-8, 30, 1e-2)
+		if !ok {
+			t.Errorf("seed %d: did not converge: %v", seed, snap)
+			continue
+		}
+		if !snap.Feasible(1e-2) {
+			t.Errorf("seed %d: infeasible: %v", seed, snap)
+		}
+		for _, r := range e.KKTResiduals() {
+			if r > 0.05 {
+				t.Errorf("seed %d: KKT residual %v", seed, r)
+			}
+		}
+	}
+}

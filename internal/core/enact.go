@@ -1,0 +1,89 @@
+package core
+
+import "math"
+
+// Enactor implements the paper's enactment policy (Section 4.4): LLA runs
+// continuously, but new allocations are pushed to the system (schedulers)
+// only when significant changes occur — re-weighting every scheduler each
+// iteration would cost far more than it gains. The Enactor decides, per
+// snapshot, whether the allocation changed enough to enact, and tracks the
+// last enacted allocation.
+type Enactor struct {
+	// MinRelChange is the per-subtask relative share change that triggers
+	// enactment (default 0.02 = 2%).
+	MinRelChange float64
+	// MinUtilityGainFrac enacts when the utility improved by this fraction
+	// since the last enactment even if no single share moved much
+	// (default 0.01, the paper's 1%).
+	MinUtilityGainFrac float64
+
+	lastShares  [][]float64
+	lastUtility float64
+	enactments  int
+}
+
+// NewEnactor returns an enactor with the paper's thresholds.
+func NewEnactor() *Enactor {
+	return &Enactor{MinRelChange: 0.02, MinUtilityGainFrac: 0.01}
+}
+
+// Consider inspects a snapshot and returns the shares to enact, or nil when
+// the current allocation should be left in place. The first call always
+// enacts.
+func (e *Enactor) Consider(snap Snapshot) [][]float64 {
+	if e.lastShares == nil {
+		return e.enact(snap)
+	}
+	if e.sharesMoved(snap.Shares) {
+		return e.enact(snap)
+	}
+	denom := math.Max(math.Abs(e.lastUtility), 1e-12)
+	if math.Abs(snap.Utility-e.lastUtility)/denom >= e.MinUtilityGainFrac {
+		return e.enact(snap)
+	}
+	return nil
+}
+
+// sharesMoved reports whether any subtask's share changed beyond the
+// relative threshold.
+func (e *Enactor) sharesMoved(shares [][]float64) bool {
+	if len(shares) != len(e.lastShares) {
+		return true
+	}
+	for ti := range shares {
+		if len(shares[ti]) != len(e.lastShares[ti]) {
+			return true
+		}
+		for si := range shares[ti] {
+			prev := e.lastShares[ti][si]
+			if prev == 0 {
+				if shares[ti][si] != 0 {
+					return true
+				}
+				continue
+			}
+			if math.Abs(shares[ti][si]-prev)/prev >= e.MinRelChange {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enact records and returns the snapshot's shares; the stored and returned
+// copies are independent so callers may mutate the result freely.
+func (e *Enactor) enact(snap Snapshot) [][]float64 {
+	stored := make([][]float64, len(snap.Shares))
+	out := make([][]float64, len(snap.Shares))
+	for ti := range snap.Shares {
+		stored[ti] = append([]float64(nil), snap.Shares[ti]...)
+		out[ti] = append([]float64(nil), snap.Shares[ti]...)
+	}
+	e.lastShares = stored
+	e.lastUtility = snap.Utility
+	e.enactments++
+	return out
+}
+
+// Enactments reports how many allocations have been enacted.
+func (e *Enactor) Enactments() int { return e.enactments }

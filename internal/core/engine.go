@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lla/internal/price"
+	"lla/internal/stats"
+	"lla/internal/task"
+	"lla/internal/workload"
+)
+
+// StepPolicy configures the price step sizes (Section 5.2).
+type StepPolicy struct {
+	// Adaptive selects the paper's congestion-doubling heuristic; when
+	// false the step size is fixed at Gamma.
+	Adaptive bool
+	// Gamma is the fixed step size, or the adaptive policy's base value.
+	Gamma float64
+	// Max caps the adaptive ramp (0 = price.DefaultAdaptiveMax).
+	Max float64
+}
+
+// Config configures an Engine.
+type Config struct {
+	// WeightMode selects the utility variant of Section 3.2 (default:
+	// path-weighted).
+	WeightMode task.WeightMode
+	// Step configures the price step sizes (default: adaptive with base 1,
+	// the paper's best-performing setting).
+	Step StepPolicy
+	// InitialMu is the starting resource price (default 1).
+	InitialMu float64
+	// MaxInner bounds the controller's fixed-point rounds for nonlinear
+	// curves (default 30).
+	MaxInner int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.WeightMode == 0 {
+		c.WeightMode = task.WeightPathNormalized
+	}
+	if c.Step.Gamma == 0 {
+		c.Step = StepPolicy{Adaptive: true, Gamma: 1}
+	}
+	if c.InitialMu == 0 {
+		c.InitialMu = 1
+	}
+	if c.MaxInner == 0 {
+		c.MaxInner = 30
+	}
+	return c
+}
+
+// Engine drives LLA synchronously: one Step performs a full iteration —
+// latency allocation at every task controller followed by price computation
+// at every resource (Section 4.1). The engine is the vehicle for the
+// paper's simulation experiments and the reference implementation the
+// distributed runtime is tested against.
+type Engine struct {
+	p           *Problem
+	cfg         Config
+	controllers []*Controller
+	agents      []*ResourceAgent
+
+	iter int
+	// shareSums and congested cache the previous iteration's resource
+	// state; controllers consume it for the adaptive path-step heuristic.
+	shareSums []float64
+	congested []bool
+}
+
+// NewEngine compiles the workload and builds controllers and resource
+// agents.
+func NewEngine(w *workload.Workload, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	p, err := Compile(w, cfg.WeightMode)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		p:         p,
+		cfg:       cfg,
+		shareSums: make([]float64, len(p.Resources)),
+		congested: make([]bool, len(p.Resources)),
+	}
+	newStep := func() price.StepSizer {
+		if cfg.Step.Adaptive {
+			a := price.NewAdaptive(cfg.Step.Gamma)
+			a.Max = cfg.Step.Max
+			return a
+		}
+		return &price.Fixed{Value: cfg.Step.Gamma}
+	}
+	for ti := range p.Tasks {
+		e.controllers = append(e.controllers, NewController(p, ti, newStep, cfg.Step.Gamma, cfg.Step.Adaptive, cfg.MaxInner))
+	}
+	for ri := range p.Resources {
+		e.agents = append(e.agents, NewResourceAgent(p, ri, newStep(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu))
+	}
+	e.refreshResourceState()
+	return e, nil
+}
+
+// Problem exposes the compiled problem (read-only use).
+func (e *Engine) Problem() *Problem { return e.p }
+
+// Controller returns the controller of task ti.
+func (e *Engine) Controller(ti int) *Controller { return e.controllers[ti] }
+
+// Iteration returns the number of completed iterations.
+func (e *Engine) Iteration() int { return e.iter }
+
+// latOf adapts controller latencies for ResourceAgent.ShareSum.
+func (e *Engine) latOf(ti int) []float64 { return e.controllers[ti].LatMs }
+
+// refreshResourceState recomputes the cached share sums and congestion
+// flags from the controllers' current latencies.
+func (e *Engine) refreshResourceState() {
+	for ri, a := range e.agents {
+		sum := a.ShareSum(e.latOf)
+		e.shareSums[ri] = sum
+		e.congested[ri] = a.Congested(sum)
+	}
+}
+
+// Step performs one full LLA iteration: each controller refreshes its path
+// prices (Equation 9) and re-solves its latencies against the current
+// resource prices (Equation 7); then each resource agent re-prices its
+// capacity from the new demand (Equation 8).
+func (e *Engine) Step() {
+	mu := make([]float64, len(e.agents))
+	for ri, a := range e.agents {
+		mu[ri] = a.Mu
+	}
+	for _, c := range e.controllers {
+		c.UpdatePathPrices(e.congested)
+		c.AllocateLatencies(mu)
+	}
+	for ri, a := range e.agents {
+		sum := a.ShareSum(e.latOf)
+		a.UpdatePrice(sum)
+		e.shareSums[ri] = sum
+		e.congested[ri] = a.Congested(sum)
+	}
+	e.iter++
+}
+
+// Run executes n iterations, invoking record (if non-nil) after each with
+// the fresh snapshot.
+func (e *Engine) Run(n int, record func(Snapshot)) {
+	for i := 0; i < n; i++ {
+		e.Step()
+		if record != nil {
+			record(e.Snapshot())
+		}
+	}
+}
+
+// RunUntilConverged iterates until the total utility is stable (relative
+// change < relTol for window consecutive iterations) and no constraint is
+// violated beyond tol, or until maxIters. It returns the final snapshot and
+// whether convergence was reached.
+func (e *Engine) RunUntilConverged(maxIters int, relTol float64, window int, tol float64) (Snapshot, bool) {
+	det := stats.NewConvergenceDetector(relTol, window)
+	var snap Snapshot
+	for i := 0; i < maxIters; i++ {
+		e.Step()
+		snap = e.Snapshot()
+		if det.Observe(snap.Utility) && snap.MaxResourceViolation < tol && snap.MaxPathViolationFrac < tol {
+			return snap, true
+		}
+	}
+	return snap, false
+}
+
+// SetAvailability changes a resource's availability B_r at runtime (resource
+// variation, e.g. partial failure or reservation change) and refreshes the
+// latency bounds of every subtask on it. The optimizer adapts over the
+// following iterations; prices are left untouched so adaptation is
+// incremental, as in the paper's continuously-running deployment.
+func (e *Engine) SetAvailability(resourceID string, availability float64) error {
+	if availability <= 0 || availability > 1 {
+		return fmt.Errorf("core: availability %v outside (0,1]", availability)
+	}
+	for ri := range e.p.Resources {
+		if e.p.Resources[ri].ID != resourceID {
+			continue
+		}
+		e.p.Resources[ri].Availability = availability
+		for _, sub := range e.p.Resources[ri].Subs {
+			e.p.refreshBounds(sub[0], sub[1])
+		}
+		e.refreshResourceState()
+		return nil
+	}
+	return fmt.Errorf("core: unknown resource %q", resourceID)
+}
+
+// SetErrorMs installs the additive model-error correction for one subtask
+// (Section 6.3): the share model becomes share = (c+l)/(lat − errMs).
+func (e *Engine) SetErrorMs(taskName, subtaskName string, errMs float64) error {
+	ti, si, err := e.findSubtask(taskName, subtaskName)
+	if err != nil {
+		return err
+	}
+	e.p.Tasks[ti].Share[si].ErrMs = errMs
+	e.p.refreshBounds(ti, si)
+	return nil
+}
+
+// SetMinShare changes a subtask's minimum-share floor at runtime (workload
+// variation: a rate change shifts the share needed to keep queues bounded).
+func (e *Engine) SetMinShare(taskName, subtaskName string, minShare float64) error {
+	if minShare < 0 || minShare > 1 {
+		return fmt.Errorf("core: min share %v outside [0,1]", minShare)
+	}
+	ti, si, err := e.findSubtask(taskName, subtaskName)
+	if err != nil {
+		return err
+	}
+	e.p.src.Tasks[ti].Subtasks[si].MinShare = minShare
+	e.p.refreshBounds(ti, si)
+	return nil
+}
+
+// findSubtask resolves names to compiled indices.
+func (e *Engine) findSubtask(taskName, subtaskName string) (int, int, error) {
+	for ti := range e.p.Tasks {
+		if e.p.Tasks[ti].Name != taskName {
+			continue
+		}
+		for si, n := range e.p.Tasks[ti].SubtaskNames {
+			if n == subtaskName {
+				return ti, si, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("core: task %s has no subtask %q", taskName, subtaskName)
+	}
+	return 0, 0, fmt.Errorf("core: unknown task %q", taskName)
+}
+
+// KKTResiduals measures how far the current point is from stationarity: for
+// every subtask whose latency is strictly inside its bounds, the residual of
+// Equation 7 normalized by the price scale. Near the optimum these vanish;
+// tests use this to certify optimality beyond utility stabilization.
+func (e *Engine) KKTResiduals() []float64 {
+	var out []float64
+	for ti := range e.p.Tasks {
+		pt := &e.p.Tasks[ti]
+		c := e.controllers[ti]
+		agg := c.aggregate()
+		slope := pt.Curve.Slope(agg)
+		for si, lat := range c.LatMs {
+			lo, hi := pt.LatMinMs[si], pt.LatMaxMs[si]
+			if lat <= lo*(1+1e-6) || lat >= hi*(1-1e-6) {
+				continue // bound-active: stationarity need not hold
+			}
+			lambdaSum := 0.0
+			for _, pi := range pt.PathsThrough[si] {
+				lambdaSum += c.Lambda[pi]
+			}
+			mu := e.agents[pt.Res[si]].Mu
+			resid := pt.Weights[si]*slope - lambdaSum - mu*pt.Share[si].Deriv(lat)
+			scale := math.Max(1, math.Abs(lambdaSum)+math.Abs(pt.Weights[si]*slope))
+			out = append(out, math.Abs(resid)/scale)
+		}
+	}
+	return out
+}

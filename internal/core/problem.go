@@ -1,0 +1,198 @@
+// Package core implements LLA (Lagrangian Latency Assignment), the paper's
+// central contribution (Section 4): a distributed dual-decomposition
+// algorithm that assigns per-subtask latencies maximizing aggregate utility
+// subject to proportional-share resource constraints (Equation 3) and
+// per-path critical-time constraints (Equation 4). Task controllers solve
+// the per-task Lagrangian stationarity conditions (latency allocation,
+// Section 4.2) while resources and controllers update congestion prices by
+// gradient projection (price computation, Section 4.3).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lla/internal/share"
+	"lla/internal/task"
+	"lla/internal/utility"
+	"lla/internal/workload"
+)
+
+// Problem is a compiled, index-based view of a workload: all name lookups,
+// path enumerations and weight derivations are done once so that iterations
+// touch only dense slices.
+type Problem struct {
+	// Tasks holds one compiled task per workload task, same order.
+	Tasks []ProblemTask
+	// Resources holds the compiled resources.
+	Resources []ProblemResource
+
+	src *workload.Workload
+}
+
+// ProblemTask is the compiled per-task view used by its task controller.
+type ProblemTask struct {
+	// Name is the task name.
+	Name string
+	// CriticalMs is the task's critical time.
+	CriticalMs float64
+	// Curve maps aggregate weighted latency to utility.
+	Curve utility.Curve
+	// Weights are the per-subtask utility weights w_s for the configured
+	// weight mode.
+	Weights []float64
+	// Paths lists every root-to-leaf path as subtask indices.
+	Paths [][]int
+	// PathsThrough[s] lists the indices (into Paths) of paths containing
+	// subtask s.
+	PathsThrough [][]int
+	// Res[s] is the index into Problem.Resources of subtask s's resource.
+	Res []int
+	// Share[s] is subtask s's share function (WCET + resource lag; the
+	// additive error term is updated in place by error correction).
+	Share []share.WCETLag
+	// LatMinMs[s] is the lowest admissible latency: the latency at which
+	// the subtask would consume the resource's full availability.
+	LatMinMs []float64
+	// LatMaxMs[s] is the highest admissible latency: the critical time,
+	// tightened by the subtask's rate-derived minimum share when present.
+	LatMaxMs []float64
+	// SubtaskNames holds the subtask names for reporting.
+	SubtaskNames []string
+}
+
+// ProblemResource is the compiled per-resource view used by its price agent.
+type ProblemResource struct {
+	// ID is the resource identifier.
+	ID string
+	// Availability is B_r.
+	Availability float64
+	// LagMs is the scheduling lag l_r.
+	LagMs float64
+	// Subs lists the (task index, subtask index) pairs consuming this
+	// resource.
+	Subs [][2]int
+}
+
+// Compile validates the workload and builds the dense problem view.
+// weightMode selects the utility variant of Section 3.2.
+func Compile(w *workload.Workload, weightMode task.WeightMode) (*Problem, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p := &Problem{src: w}
+
+	resIdx := make(map[string]int, len(w.Resources))
+	for i, r := range w.Resources {
+		resIdx[r.ID] = i
+		p.Resources = append(p.Resources, ProblemResource{
+			ID:           r.ID,
+			Availability: r.Availability,
+			LagMs:        r.LagMs,
+		})
+	}
+
+	for ti, t := range w.Tasks {
+		weights, err := t.Weights(weightMode)
+		if err != nil {
+			return nil, fmt.Errorf("core: task %s: %w", t.Name, err)
+		}
+		paths, err := t.Paths()
+		if err != nil {
+			return nil, fmt.Errorf("core: task %s: %w", t.Name, err)
+		}
+		n := len(t.Subtasks)
+		pt := ProblemTask{
+			Name:         t.Name,
+			CriticalMs:   t.CriticalMs,
+			Curve:        w.Curves[t.Name],
+			Weights:      weights,
+			Paths:        paths,
+			PathsThrough: make([][]int, n),
+			Res:          make([]int, n),
+			Share:        make([]share.WCETLag, n),
+			LatMinMs:     make([]float64, n),
+			LatMaxMs:     make([]float64, n),
+			SubtaskNames: make([]string, n),
+		}
+		for pi, path := range paths {
+			for _, s := range path {
+				pt.PathsThrough[s] = append(pt.PathsThrough[s], pi)
+			}
+		}
+		for si, s := range t.Subtasks {
+			ri := resIdx[s.Resource]
+			r := w.Resources[ri]
+			pt.Res[si] = ri
+			pt.Share[si] = share.WCETLag{ExecMs: s.ExecMs, LagMs: r.LagMs}
+			pt.SubtaskNames[si] = s.Name
+			pt.LatMinMs[si] = pt.Share[si].LatencyFor(r.Availability)
+			maxLat := t.CriticalMs
+			if s.MinShare > 0 {
+				if cap := pt.Share[si].LatencyFor(s.MinShare); cap < maxLat {
+					maxLat = cap
+				}
+			}
+			if maxLat < pt.LatMinMs[si] {
+				// Degenerate bounds (e.g. availability too low for the
+				// deadline): keep a consistent interval; the constraint
+				// violation will surface in the snapshot instead.
+				maxLat = pt.LatMinMs[si]
+			}
+			pt.LatMaxMs[si] = maxLat
+			p.Resources[ri].Subs = append(p.Resources[ri].Subs, [2]int{ti, si})
+		}
+		p.Tasks = append(p.Tasks, pt)
+	}
+	return p, nil
+}
+
+// Workload returns the workload this problem was compiled from.
+func (p *Problem) Workload() *workload.Workload { return p.src }
+
+// NumSubtasks counts subtasks across all tasks.
+func (p *Problem) NumSubtasks() int {
+	n := 0
+	for i := range p.Tasks {
+		n += len(p.Tasks[i].Res)
+	}
+	return n
+}
+
+// refreshBounds recomputes a subtask's latency bounds after a change to its
+// share function (error correction) or its resource's availability.
+func (p *Problem) refreshBounds(ti, si int) {
+	pt := &p.Tasks[ti]
+	r := p.Resources[pt.Res[si]]
+	pt.LatMinMs[si] = pt.Share[si].LatencyFor(r.Availability)
+	maxLat := pt.CriticalMs
+	minShare := p.src.Tasks[ti].Subtasks[si].MinShare
+	if minShare > 0 {
+		if cap := pt.Share[si].LatencyFor(minShare); cap < maxLat {
+			maxLat = cap
+		}
+	}
+	if maxLat < pt.LatMinMs[si] {
+		maxLat = pt.LatMinMs[si]
+	}
+	pt.LatMaxMs[si] = maxLat
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// safeSqrt returns sqrt(max(x, 0)).
+func safeSqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+
+	"lla/internal/price"
+)
+
+// ResourceAgent is the per-resource price computer of Section 4.3: it
+// receives the latencies (equivalently, shares) of the subtasks scheduled on
+// its resource and updates the resource price mu by gradient projection
+// (Equation 8). Like Controller it is runtime-agnostic: the synchronous
+// engine and the distributed runtime both drive it.
+type ResourceAgent struct {
+	p  *Problem
+	ri int
+
+	// Mu is the current resource price (Lagrange multiplier of the capacity
+	// constraint).
+	Mu float64
+	// step sizes the gradient step, ramping under congestion when the
+	// adaptive policy is configured.
+	step price.StepSizer
+	// baseGamma floors the stability clamp so prices can always rise from
+	// zero at the configured base rate.
+	baseGamma float64
+	// priceScaled (adaptive mode) floors the effective step at Mu/2:
+	// because demand scales as 1/sqrt(mu), a price far from equilibrium
+	// needs steps proportional to itself to move in O(1) iterations. This
+	// keeps the paper's doubling heuristic effective near saturation, where
+	// the congestion margin would otherwise leave only the base step.
+	priceScaled bool
+}
+
+// NewResourceAgent builds the agent for resource ri with an initial price.
+// A positive initial price lets the first latency allocation see capacity
+// pressure immediately; the paper's iterations behave equivalently after a
+// few steps regardless of the start.
+func NewResourceAgent(p *Problem, ri int, step price.StepSizer, baseGamma float64, priceScaled bool, initialMu float64) *ResourceAgent {
+	return &ResourceAgent{p: p, ri: ri, Mu: initialMu, step: step, baseGamma: baseGamma, priceScaled: priceScaled}
+}
+
+// ShareSum computes the total share demanded on this resource given every
+// controller's current latencies. latOf returns controller latencies by task
+// index.
+func (a *ResourceAgent) ShareSum(latOf func(ti int) []float64) float64 {
+	r := &a.p.Resources[a.ri]
+	sum := 0.0
+	for _, sub := range r.Subs {
+		ti, si := sub[0], sub[1]
+		sum += a.p.Tasks[ti].Share[si].Share(latOf(ti)[si])
+	}
+	return sum
+}
+
+// CongestionMargin is the relative violation below which a constraint is
+// treated as merely saturated rather than congested for step-size ramping.
+// At LLA's optimum resources sit exactly at capacity, so without a margin
+// the adaptive heuristic's congested flag would flicker forever and the
+// alternating step sizes would sustain a limit cycle around the optimum.
+// Price *updates* always use the exact gradients; the margin gates only the
+// ramping.
+const CongestionMargin = 0.01
+
+// Congested reports whether the given demand violates the capacity
+// constraint beyond the ramping margin.
+func (a *ResourceAgent) Congested(shareSum float64) bool {
+	return shareSum > a.p.Resources[a.ri].Availability*(1+CongestionMargin)
+}
+
+// UpdatePrice performs the gradient-projection step (Equation 8) for the
+// given demand and feeds the step sizer with the congestion state.
+//
+// The effective step is clamped to the local stability bound: with
+// share = (c+l)/lat and lat = sqrt(mu·k/denom), demand scales as 1/sqrt(mu),
+// so the price iteration contracts only for gamma < 4·mu/B. Clamping at
+// 2·mu/B (safety factor 2, floored at the base step so the price can rise
+// from zero) lets the paper's multiplicative ramp run while the price is
+// large without destabilizing it near the equilibrium.
+func (a *ResourceAgent) UpdatePrice(shareSum float64) {
+	a.step.Observe(a.Congested(shareSum))
+	gamma := a.step.Gamma()
+	avail := a.p.Resources[a.ri].Availability
+	if a.priceScaled && gamma < a.Mu/2 {
+		gamma = a.Mu / 2
+	}
+	if cap := math.Max(a.baseGamma, 2*a.Mu/avail); gamma > cap {
+		gamma = cap
+	}
+	a.Mu = price.UpdateResource(a.Mu, gamma, avail, shareSum)
+}
+
+// ResetPrice restores the initial price and step size; used after structural
+// workload changes.
+func (a *ResourceAgent) ResetPrice(initialMu float64) {
+	a.Mu = initialMu
+	a.step.Reset()
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Snapshot captures the optimizer's observable state after an iteration: the
+// quantities the paper's figures plot (utility, share sums) and the
+// constraint diagnostics its schedulability test relies on (Section 5.4).
+type Snapshot struct {
+	// Iteration is the number of completed iterations.
+	Iteration int
+	// Utility is the aggregate utility Σ_i U_i.
+	Utility float64
+	// TaskUtility holds per-task utilities, workload task order.
+	TaskUtility []float64
+	// LatMs[ti][si] are the assigned latencies.
+	LatMs [][]float64
+	// ShareMs[ti][si] are the implied resource shares.
+	Shares [][]float64
+	// ShareSums[ri] is the total share demanded on each resource.
+	ShareSums []float64
+	// Mu[ri] is each resource's price.
+	Mu []float64
+	// CriticalPathMs[ti] is each task's longest path latency.
+	CriticalPathMs []float64
+	// CriticalTimeMs[ti] is each task's deadline, for convenience.
+	CriticalTimeMs []float64
+	// MaxResourceViolation is max_r (ShareSums[r] − B_r), clamped at 0:
+	// positive means resource congestion.
+	MaxResourceViolation float64
+	// MaxPathViolationFrac is max over tasks of
+	// (CriticalPath − CriticalTime)/CriticalTime, clamped at 0: positive
+	// means a deadline cannot be met.
+	MaxPathViolationFrac float64
+}
+
+// Snapshot assembles the current state.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Iteration: e.iter,
+		ShareSums: append([]float64(nil), e.shareSums...),
+	}
+	for ri, a := range e.agents {
+		s.Mu = append(s.Mu, a.Mu)
+		over := e.shareSums[ri] - e.p.Resources[ri].Availability
+		if over > s.MaxResourceViolation {
+			s.MaxResourceViolation = over
+		}
+	}
+	for ti, c := range e.controllers {
+		u := c.Utility()
+		s.TaskUtility = append(s.TaskUtility, u)
+		s.Utility += u
+		s.LatMs = append(s.LatMs, append([]float64(nil), c.LatMs...))
+		s.Shares = append(s.Shares, c.Shares())
+		cp, _ := c.CriticalPathMs()
+		crit := e.p.Tasks[ti].CriticalMs
+		s.CriticalPathMs = append(s.CriticalPathMs, cp)
+		s.CriticalTimeMs = append(s.CriticalTimeMs, crit)
+		if frac := (cp - crit) / crit; frac > s.MaxPathViolationFrac {
+			s.MaxPathViolationFrac = frac
+		}
+	}
+	return s
+}
+
+// Feasible reports whether no constraint is violated beyond tol.
+func (s Snapshot) Feasible(tol float64) bool {
+	return s.MaxResourceViolation <= tol && s.MaxPathViolationFrac <= tol
+}
+
+// String renders a compact human-readable summary.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iter=%d utility=%.3f maxResViol=%.4f maxPathViol=%.4f",
+		s.Iteration, s.Utility, s.MaxResourceViolation, s.MaxPathViolationFrac)
+	return b.String()
+}
+
+// LatencyByName returns the latency assigned to the named subtask of the
+// named task, resolving through the engine's problem. It returns an error
+// for unknown names.
+func (e *Engine) LatencyByName(taskName, subtaskName string) (float64, error) {
+	ti, si, err := e.findSubtask(taskName, subtaskName)
+	if err != nil {
+		return 0, err
+	}
+	return e.controllers[ti].LatMs[si], nil
+}
+
+// ShareByName returns the share implied by the current latency of the named
+// subtask.
+func (e *Engine) ShareByName(taskName, subtaskName string) (float64, error) {
+	ti, si, err := e.findSubtask(taskName, subtaskName)
+	if err != nil {
+		return 0, err
+	}
+	return e.p.Tasks[ti].Share[si].Share(e.controllers[ti].LatMs[si]), nil
+}

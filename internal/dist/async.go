@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lla/internal/core"
+	"lla/internal/transport"
+	"lla/internal/workload"
+)
+
+// Async mode runs LLA without round synchronization: every node computes on
+// whatever prices/latencies have arrived so far and publishes its update
+// immediately. This is the deployment style the optimization-flow-control
+// literature analyses (gradient methods tolerate bounded staleness), and it
+// is how a real system would run — the paper's controllers and resources
+// exchange messages continuously rather than in lockstep. The synchronized
+// Runtime remains the reference for exact engine equivalence; Async trades
+// determinism for decoupling.
+
+// AsyncResult summarizes an asynchronous run.
+type AsyncResult struct {
+	// Utility is the aggregate utility at the end of the run.
+	Utility float64
+	// LatMs[ti][si] are the final latencies.
+	LatMs [][]float64
+	// Mu[ri] are the final resource prices.
+	Mu []float64
+	// ControllerSteps and ResourceSteps count compute steps across nodes.
+	ControllerSteps int
+	ResourceSteps   int
+}
+
+// RunAsync executes the asynchronous protocol for the given wall-clock
+// duration over the network, then quiesces and returns the final state.
+// pace is the minimum interval between a node's compute steps (0 = 1ms):
+// it bounds each node's update rate so that no controller/resource pair can
+// spin thousands of iterations ahead of a lagging peer — unbounded relative
+// staleness destabilizes the gradient updates. On a real network the
+// round-trip time provides this pacing for free.
+func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, pace time.Duration) (*AsyncResult, error) {
+	if pace <= 0 {
+		pace = time.Millisecond
+	}
+	cfg = fillConfig(cfg)
+	p, err := core.Compile(w, cfg.WeightMode)
+	if err != nil {
+		return nil, err
+	}
+	newStep := newStepFactory(cfg)
+
+	type ctlNode struct {
+		ctl *core.Controller
+		ep  transport.Endpoint
+		ti  int
+	}
+	type resNode struct {
+		agent *core.ResourceAgent
+		ep    transport.Endpoint
+		ri    int
+	}
+
+	var ctls []*ctlNode
+	var ress []*resNode
+	for ti := range p.Tasks {
+		ep, err := net.Endpoint(controllerAddr(p.Tasks[ti].Name))
+		if err != nil {
+			return nil, fmt.Errorf("dist: async: %w", err)
+		}
+		ctls = append(ctls, &ctlNode{
+			ctl: core.NewController(p, ti, newStep, cfg.Step.Gamma, cfg.Step.Adaptive, cfg.MaxInner),
+			ep:  ep,
+			ti:  ti,
+		})
+	}
+	for ri := range p.Resources {
+		ep, err := net.Endpoint(resourceAddr(p.Resources[ri].ID))
+		if err != nil {
+			return nil, fmt.Errorf("dist: async: %w", err)
+		}
+		ress = append(ress, &resNode{
+			agent: core.NewResourceAgent(p, ri, newStep(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu),
+			ep:    ep,
+			ri:    ri,
+		})
+	}
+	defer func() {
+		for _, n := range ctls {
+			n.ep.Close()
+		}
+		for _, n := range ress {
+			n.ep.Close()
+		}
+	}()
+
+	stop := make(chan struct{})
+	res := &AsyncResult{}
+	var mu sync.Mutex // guards the step counters
+	var wg sync.WaitGroup
+
+	// Resource nodes: maintain the latest latency of each local subtask
+	// (fair-split default until reported), reprice on every message batch.
+	for _, n := range ress {
+		wg.Add(1)
+		go func(n *resNode) {
+			defer wg.Done()
+			r := &p.Resources[n.ri]
+			lat := make(map[[2]int]float64, len(r.Subs))
+			for _, sub := range r.Subs {
+				ti, si := sub[0], sub[1]
+				fair := r.Availability / float64(len(r.Subs))
+				lat[sub] = p.Tasks[ti].Share[si].LatencyFor(fair)
+			}
+			broadcast := func() {
+				sum := 0.0
+				for _, sub := range r.Subs {
+					ti, si := sub[0], sub[1]
+					sum += p.Tasks[ti].Share[si].Share(lat[sub])
+				}
+				n.agent.UpdatePrice(sum)
+				msg := priceMsg{Resource: r.ID, Mu: n.agent.Mu, Congested: n.agent.Congested(sum)}
+				seen := make(map[string]bool)
+				for _, sub := range r.Subs {
+					tn := p.Tasks[sub[0]].Name
+					if !seen[tn] {
+						seen[tn] = true
+						_ = n.ep.Send(controllerAddr(tn), kindPrice, msg)
+					}
+				}
+				mu.Lock()
+				res.ResourceSteps++
+				mu.Unlock()
+			}
+			handle := func(m transport.Message) {
+				if m.Kind != kindLatency {
+					return
+				}
+				var lm latencyMsg
+				if err := m.Decode(&lm); err != nil {
+					return
+				}
+				for sn, v := range lm.LatMs {
+					if sub, ok2 := subIndex(p, lm.Task, sn); ok2 {
+						lat[sub] = v
+					}
+				}
+			}
+			broadcast() // seed the loop
+			for {
+				// Block for one message, then drain everything pending so
+				// a burst coalesces into a single recompute+broadcast —
+				// without coalescing each inbound message would fan out to
+				// every controller and the message population would grow
+				// without bound.
+				select {
+				case m, ok := <-n.ep.Recv():
+					if !ok {
+						return
+					}
+					handle(m)
+				case <-stop:
+					return
+				}
+			drainRes:
+				for {
+					select {
+					case m, ok := <-n.ep.Recv():
+						if !ok {
+							return
+						}
+						handle(m)
+					default:
+						break drainRes
+					}
+				}
+				broadcast()
+				time.Sleep(pace)
+			}
+		}(n)
+	}
+
+	// Controller nodes: fold in whatever prices arrived, reallocate and
+	// publish.
+	for _, n := range ctls {
+		wg.Add(1)
+		go func(n *ctlNode) {
+			defer wg.Done()
+			muVec := make([]float64, len(p.Resources))
+			for ri := range muVec {
+				muVec[ri] = cfg.InitialMu
+			}
+			congested := make([]bool, len(p.Resources))
+			publish := func() {
+				n.ctl.UpdatePathPrices(congested)
+				n.ctl.AllocateLatencies(muVec)
+				pt := &p.Tasks[n.ti]
+				byRes := make(map[int]map[string]float64)
+				for si, ri := range pt.Res {
+					if byRes[ri] == nil {
+						byRes[ri] = make(map[string]float64)
+					}
+					byRes[ri][pt.SubtaskNames[si]] = n.ctl.LatMs[si]
+				}
+				for ri, lats := range byRes {
+					_ = n.ep.Send(resourceAddr(p.Resources[ri].ID), kindLatency,
+						latencyMsg{Task: pt.Name, LatMs: lats})
+				}
+				mu.Lock()
+				res.ControllerSteps++
+				mu.Unlock()
+			}
+			handle := func(m transport.Message) {
+				if m.Kind != kindPrice {
+					return
+				}
+				var pm priceMsg
+				if err := m.Decode(&pm); err != nil {
+					return
+				}
+				for ri := range p.Resources {
+					if p.Resources[ri].ID == pm.Resource {
+						muVec[ri] = pm.Mu
+						congested[ri] = pm.Congested
+						break
+					}
+				}
+			}
+			for {
+				select {
+				case m, ok := <-n.ep.Recv():
+					if !ok {
+						return
+					}
+					handle(m)
+				case <-stop:
+					return
+				}
+			drainCtl:
+				for {
+					select {
+					case m, ok := <-n.ep.Recv():
+						if !ok {
+							return
+						}
+						handle(m)
+					default:
+						break drainCtl
+					}
+				}
+				publish()
+				time.Sleep(pace)
+			}
+		}(n)
+	}
+
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+
+	for _, n := range ctls {
+		res.Utility += n.ctl.Utility()
+		res.LatMs = append(res.LatMs, append([]float64(nil), n.ctl.LatMs...))
+	}
+	for _, n := range ress {
+		res.Mu = append(res.Mu, n.agent.Mu)
+	}
+	return res, nil
+}
+
+// subIndex resolves (task name, subtask name) to compiled indices.
+func subIndex(p *core.Problem, taskName, subName string) ([2]int, bool) {
+	for ti := range p.Tasks {
+		if p.Tasks[ti].Name != taskName {
+			continue
+		}
+		for si, n := range p.Tasks[ti].SubtaskNames {
+			if n == subName {
+				return [2]int{ti, si}, true
+			}
+		}
+	}
+	return [2]int{}, false
+}

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lla/internal/core"
+	"lla/internal/transport"
+	"lla/internal/workload"
+)
+
+// Asynchronous LLA converges close to the synchronous optimum on the base
+// workload despite unsynchronized, stale updates.
+func TestAsyncConvergesNearOptimum(t *testing.T) {
+	net := transport.NewInproc(transport.InprocConfig{QueueLen: 8192})
+	res, err := RunAsync(workload.Base(), core.Config{}, net, 1500*time.Millisecond, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous optimum is 188.73 (Table 1 reproduction).
+	if math.Abs(res.Utility-188.73) > 2 {
+		t.Errorf("async utility = %.2f, want ≈188.73", res.Utility)
+	}
+	if res.ControllerSteps == 0 || res.ResourceSteps == 0 {
+		t.Errorf("no compute steps: %+v", res)
+	}
+	// Latencies close to Table 1 (loose tolerance: async endpoint is
+	// timing-dependent).
+	ref := workload.Table1LatenciesMs()
+	w := workload.Base()
+	for ti, tk := range w.Tasks {
+		for si, s := range tk.Subtasks {
+			want := ref[tk.Name][s.Name]
+			if rel := math.Abs(res.LatMs[ti][si]-want) / want; rel > 0.10 {
+				t.Errorf("%s.%s async latency %.2f vs published %.1f (%.0f%% off)",
+					tk.Name, s.Name, res.LatMs[ti][si], want, rel*100)
+			}
+		}
+	}
+}
+
+// With message delay (stale prices), the asynchronous protocol still
+// converges to the neighbourhood of the optimum — provided the steps are
+// conservative. Aggressive price-proportional steps amplify stale gradients
+// (the standard asynchronous-gradient staleness/step-size trade-off), so
+// this case runs with a fixed moderate gamma.
+func TestAsyncTolerantOfDelay(t *testing.T) {
+	net := transport.NewInproc(transport.InprocConfig{QueueLen: 8192, DelayMs: 1, Seed: 5})
+	cfg := core.Config{Step: core.StepPolicy{Adaptive: false, Gamma: 2}}
+	res, err := RunAsync(workload.Base(), cfg, net, 4*time.Second, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utility-188.73) > 5 {
+		t.Errorf("async-with-delay utility = %.2f, want ≈188.73", res.Utility)
+	}
+	net.Wait()
+}
+
+func TestAsyncPrototypeMeetsConstraints(t *testing.T) {
+	net := transport.NewInproc(transport.InprocConfig{QueueLen: 8192})
+	res, err := RunAsync(workload.Prototype(), core.Config{}, net, 1500*time.Millisecond, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast tasks settle at the 35ms per-subtask allocation (C=105 binding).
+	for ti := 0; ti < 2; ti++ {
+		sum := 0.0
+		for _, lat := range res.LatMs[ti] {
+			sum += lat
+		}
+		if math.Abs(sum-105) > 2 {
+			t.Errorf("fast task %d path latency %.1f, want ≈105", ti, sum)
+		}
+	}
+	// Resource prices near the analytic mu* = 667.
+	for ri, mu := range res.Mu {
+		if math.Abs(mu-667) > 30 {
+			t.Errorf("mu[%d] = %.1f, want ≈667", ri, mu)
+		}
+	}
+}
+
+func TestAsyncRejectsInvalidWorkload(t *testing.T) {
+	bad := workload.Base()
+	bad.Resources = nil
+	net := transport.NewInproc(transport.InprocConfig{})
+	if _, err := RunAsync(bad, core.Config{}, net, 10*time.Millisecond, 0); err == nil {
+		t.Fatal("invalid workload should fail")
+	}
+}

@@ -1,0 +1,54 @@
+// Package dist runs LLA as a genuinely distributed system (Section 4.1):
+// one resource node per resource computing prices (Equation 8), one
+// controller node per task allocating latencies and path prices (Equations
+// 7 and 9), all communicating over a transport.Network. The protocol is
+// round-synchronized, so a dist run over a loss-free network reproduces the
+// synchronous core.Engine iterate-for-iterate; the test suite asserts that
+// equivalence.
+package dist
+
+// priceMsg is sent by a resource node to every controller with a subtask on
+// the resource: the resource price and the congestion flag that drives the
+// adaptive path-step heuristic.
+type priceMsg struct {
+	Round     int     `json:"round"`
+	Resource  string  `json:"resource"`
+	Mu        float64 `json:"mu"`
+	Congested bool    `json:"congested"`
+}
+
+// latencyMsg is sent by a controller to a resource node: the newly allocated
+// latencies of the controller's subtasks hosted on that resource.
+type latencyMsg struct {
+	Round int                `json:"round"`
+	Task  string             `json:"task"`
+	LatMs map[string]float64 `json:"latMs"`
+}
+
+// reportMsg is sent by a controller to the coordinator after each round so
+// the runtime can aggregate utility and detect convergence.
+type reportMsg struct {
+	Round   int     `json:"round"`
+	Task    string  `json:"task"`
+	Utility float64 `json:"utility"`
+}
+
+// stopMsg tells a node to finish after completing the given round.
+type stopMsg struct {
+	AfterRound int `json:"afterRound"`
+}
+
+// Message kind tags.
+const (
+	kindPrice   = "price"
+	kindLatency = "latency"
+	kindReport  = "report"
+	kindStop    = "stop"
+)
+
+// Address helpers: resources and controllers get deterministic names.
+func resourceAddr(id string) string  { return "res/" + id }
+func controllerAddr(t string) string { return "ctl/" + t }
+
+// coordinatorAddr is the runtime's aggregation endpoint.
+const coordinatorAddr = "coordinator"

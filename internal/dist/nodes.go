@@ -1,0 +1,262 @@
+package dist
+
+import (
+	"fmt"
+
+	"lla/internal/core"
+	"lla/internal/transport"
+)
+
+// resourceNode hosts one resource's price agent (Section 4.3). Each round it
+// gathers the fresh latencies of every subtask on the resource, updates the
+// price by gradient projection, and multicasts the new price (with the
+// congestion flag for the adaptive heuristic) to the controllers of the
+// tasks running here.
+type resourceNode struct {
+	p     *core.Problem
+	ri    int
+	agent *core.ResourceAgent
+	ep    transport.Endpoint
+	// controllers are the task names with subtasks on this resource.
+	controllers []string
+	// latNames maps (task name, subtask name) to (ti, si).
+	subIdx map[string][2]int
+	// lat holds the latest latency of each subtask on this resource.
+	lat map[[2]int]float64
+}
+
+// newResourceNode wires a resource agent to an endpoint.
+func newResourceNode(p *core.Problem, ri int, agent *core.ResourceAgent, ep transport.Endpoint) *resourceNode {
+	n := &resourceNode{
+		p:      p,
+		ri:     ri,
+		agent:  agent,
+		ep:     ep,
+		subIdx: make(map[string][2]int),
+		lat:    make(map[[2]int]float64),
+	}
+	seen := make(map[string]bool)
+	for _, sub := range p.Resources[ri].Subs {
+		ti, si := sub[0], sub[1]
+		tn := p.Tasks[ti].Name
+		if !seen[tn] {
+			seen[tn] = true
+			n.controllers = append(n.controllers, tn)
+		}
+		n.subIdx[tn+"/"+p.Tasks[ti].SubtaskNames[si]] = sub
+	}
+	return n
+}
+
+// broadcastPrice sends the current price to every interested controller.
+func (n *resourceNode) broadcastPrice(round int, congested bool) error {
+	msg := priceMsg{
+		Round:     round,
+		Resource:  n.p.Resources[n.ri].ID,
+		Mu:        n.agent.Mu,
+		Congested: congested,
+	}
+	for _, tn := range n.controllers {
+		if err := n.ep.Send(controllerAddr(tn), kindPrice, msg); err != nil {
+			return fmt.Errorf("dist: resource %s: %w", n.p.Resources[n.ri].ID, err)
+		}
+	}
+	return nil
+}
+
+// run executes the node until maxRounds latency rounds are processed or a
+// stop message lowers the limit. It returns the first protocol error.
+func (n *resourceNode) run(maxRounds int) error {
+	if err := n.broadcastPrice(0, false); err != nil {
+		return err
+	}
+	limit := maxRounds
+	round := 0
+	// pending buffers latency messages by round (delayed transports may
+	// reorder across rounds).
+	pending := make(map[int][]latencyMsg)
+	got := make(map[string]bool)
+
+	for round < limit {
+		m, ok := <-n.ep.Recv()
+		if !ok {
+			return fmt.Errorf("dist: resource %s: endpoint closed mid-protocol", n.p.Resources[n.ri].ID)
+		}
+		switch m.Kind {
+		case kindLatency:
+			var lm latencyMsg
+			if err := m.Decode(&lm); err != nil {
+				return err
+			}
+			pending[lm.Round] = append(pending[lm.Round], lm)
+		case kindStop:
+			var sm stopMsg
+			if err := m.Decode(&sm); err != nil {
+				return err
+			}
+			if sm.AfterRound < limit {
+				limit = sm.AfterRound
+			}
+			continue
+		default:
+			return fmt.Errorf("dist: resource %s: unexpected message kind %q", n.p.Resources[n.ri].ID, m.Kind)
+		}
+
+		// Fold in everything buffered for the current round.
+		for _, lm := range pending[round] {
+			for sn, lat := range lm.LatMs {
+				sub, ok := n.subIdx[lm.Task+"/"+sn]
+				if !ok {
+					return fmt.Errorf("dist: resource %s: unknown subtask %s/%s", n.p.Resources[n.ri].ID, lm.Task, sn)
+				}
+				n.lat[sub] = lat
+			}
+			got[lm.Task] = true
+		}
+		delete(pending, round)
+		if len(got) < len(n.controllers) {
+			continue // round incomplete
+		}
+
+		// Round complete: price computation (Equation 8).
+		sum := 0.0
+		for _, sub := range n.p.Resources[n.ri].Subs {
+			ti, si := sub[0], sub[1]
+			sum += n.p.Tasks[ti].Share[si].Share(n.lat[sub])
+		}
+		n.agent.UpdatePrice(sum)
+		round++
+		got = make(map[string]bool)
+		if round < limit {
+			if err := n.broadcastPrice(round, n.agent.Congested(sum)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// controllerNode hosts one task's controller (Section 4.2). Each round it
+// waits for the prices of every resource its subtasks use, refreshes path
+// prices, re-solves latencies, and sends them to the resources.
+type controllerNode struct {
+	p    *core.Problem
+	ti   int
+	ctl  *core.Controller
+	ep   transport.Endpoint
+	res  []int // distinct resource indices used by the task
+	name string
+	// reports controls whether per-round utility reports are sent to the
+	// coordinator; standalone deployments have no coordinator and disable
+	// them.
+	reports bool
+}
+
+// newControllerNode wires a task controller to an endpoint.
+func newControllerNode(p *core.Problem, ti int, ctl *core.Controller, ep transport.Endpoint) *controllerNode {
+	n := &controllerNode{p: p, ti: ti, ctl: ctl, ep: ep, name: p.Tasks[ti].Name, reports: true}
+	seen := make(map[int]bool)
+	for _, ri := range p.Tasks[ti].Res {
+		if !seen[ri] {
+			seen[ri] = true
+			n.res = append(n.res, ri)
+		}
+	}
+	return n
+}
+
+// sendLatencies distributes the freshly allocated latencies, grouped per
+// resource, and reports utility to the coordinator.
+func (n *controllerNode) sendLatencies(round int) error {
+	pt := &n.p.Tasks[n.ti]
+	byRes := make(map[int]map[string]float64, len(n.res))
+	for si, ri := range pt.Res {
+		m := byRes[ri]
+		if m == nil {
+			m = make(map[string]float64)
+			byRes[ri] = m
+		}
+		m[pt.SubtaskNames[si]] = n.ctl.LatMs[si]
+	}
+	for ri, lats := range byRes {
+		msg := latencyMsg{Round: round, Task: n.name, LatMs: lats}
+		if err := n.ep.Send(resourceAddr(n.p.Resources[ri].ID), kindLatency, msg); err != nil {
+			return fmt.Errorf("dist: controller %s: %w", n.name, err)
+		}
+	}
+	if !n.reports {
+		return nil
+	}
+	return n.ep.Send(coordinatorAddr, kindReport, reportMsg{
+		Round:   round,
+		Task:    n.name,
+		Utility: n.ctl.Utility(),
+	})
+}
+
+// run executes the controller until maxRounds allocations are done or a
+// stop message lowers the limit.
+func (n *controllerNode) run(maxRounds int) error {
+	limit := maxRounds
+	round := 0
+	mu := make([]float64, len(n.p.Resources))
+	congested := make([]bool, len(n.p.Resources))
+	pending := make(map[int][]priceMsg)
+	got := make(map[string]bool)
+
+	for round < limit {
+		m, ok := <-n.ep.Recv()
+		if !ok {
+			return fmt.Errorf("dist: controller %s: endpoint closed mid-protocol", n.name)
+		}
+		switch m.Kind {
+		case kindPrice:
+			var pm priceMsg
+			if err := m.Decode(&pm); err != nil {
+				return err
+			}
+			pending[pm.Round] = append(pending[pm.Round], pm)
+		case kindStop:
+			var sm stopMsg
+			if err := m.Decode(&sm); err != nil {
+				return err
+			}
+			if sm.AfterRound < limit {
+				limit = sm.AfterRound
+			}
+			continue
+		default:
+			return fmt.Errorf("dist: controller %s: unexpected message kind %q", n.name, m.Kind)
+		}
+
+		for _, pm := range pending[round] {
+			ri := -1
+			for i := range n.p.Resources {
+				if n.p.Resources[i].ID == pm.Resource {
+					ri = i
+					break
+				}
+			}
+			if ri < 0 {
+				return fmt.Errorf("dist: controller %s: unknown resource %q", n.name, pm.Resource)
+			}
+			mu[ri] = pm.Mu
+			congested[ri] = pm.Congested
+			got[pm.Resource] = true
+		}
+		delete(pending, round)
+		if len(got) < len(n.res) {
+			continue
+		}
+
+		// Round complete: latency allocation (Section 4.2).
+		n.ctl.UpdatePathPrices(congested)
+		n.ctl.AllocateLatencies(mu)
+		if err := n.sendLatencies(round); err != nil {
+			return err
+		}
+		round++
+		got = make(map[string]bool)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"lla/internal/core"
+	"lla/internal/price"
+	"lla/internal/stats"
+	"lla/internal/task"
+	"lla/internal/transport"
+	"lla/internal/workload"
+)
+
+// Runtime assembles and drives a distributed LLA deployment: one resource
+// node per resource, one controller node per task, and a coordinator that
+// aggregates per-round utility reports.
+type Runtime struct {
+	p           *core.Problem
+	cfg         core.Config
+	net         transport.Network
+	controllers []*core.Controller
+	agents      []*core.ResourceAgent
+	ctlNodes    []*controllerNode
+	resNodes    []*resourceNode
+	coordinator transport.Endpoint
+}
+
+// New compiles the workload and registers all endpoints on the network.
+func New(w *workload.Workload, cfg core.Config, net transport.Network) (*Runtime, error) {
+	cfg = fillConfig(cfg)
+	p, err := core.Compile(w, cfg.WeightMode)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{p: p, cfg: cfg, net: net}
+	newStep := func() price.StepSizer {
+		if cfg.Step.Adaptive {
+			a := price.NewAdaptive(cfg.Step.Gamma)
+			a.Max = cfg.Step.Max
+			return a
+		}
+		return &price.Fixed{Value: cfg.Step.Gamma}
+	}
+
+	r.coordinator, err = net.Endpoint(coordinatorAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	for ti := range p.Tasks {
+		ep, err := net.Endpoint(controllerAddr(p.Tasks[ti].Name))
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		ctl := core.NewController(p, ti, newStep, cfg.Step.Gamma, cfg.Step.Adaptive, cfg.MaxInner)
+		r.controllers = append(r.controllers, ctl)
+		r.ctlNodes = append(r.ctlNodes, newControllerNode(p, ti, ctl, ep))
+	}
+	for ri := range p.Resources {
+		ep, err := net.Endpoint(resourceAddr(p.Resources[ri].ID))
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		agent := core.NewResourceAgent(p, ri, newStep(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu)
+		r.agents = append(r.agents, agent)
+		r.resNodes = append(r.resNodes, newResourceNode(p, ri, agent, ep))
+	}
+	return r, nil
+}
+
+// fillConfig mirrors core.Config defaults (kept in sync with
+// core.Config.withDefaults, which is unexported).
+func fillConfig(c core.Config) core.Config {
+	if c.WeightMode == 0 {
+		c.WeightMode = task.WeightPathNormalized
+	}
+	if c.Step.Gamma == 0 {
+		c.Step = core.StepPolicy{Adaptive: true, Gamma: 1}
+	}
+	if c.InitialMu == 0 {
+		c.InitialMu = 1
+	}
+	if c.MaxInner == 0 {
+		c.MaxInner = 30
+	}
+	return c
+}
+
+// Result summarizes a distributed run.
+type Result struct {
+	// Rounds is the number of completed allocation rounds.
+	Rounds int
+	// Utility is the final aggregate utility.
+	Utility float64
+	// UtilitySeries records the aggregate utility per round.
+	UtilitySeries *stats.Series
+	// LatMs[ti][si] are the final latencies.
+	LatMs [][]float64
+	// Mu[ri] are the final resource prices.
+	Mu []float64
+	// Converged reports whether a convergence stop fired (RunUntilConverged
+	// only).
+	Converged bool
+}
+
+// Run executes exactly rounds synchronous rounds and returns the final
+// state. A loss-free in-order network makes the result identical to
+// core.Engine after the same number of Steps.
+func (r *Runtime) Run(rounds int) (*Result, error) {
+	return r.run(rounds, nil)
+}
+
+// RunUntilConverged executes until the aggregate utility is stable (relative
+// change < relTol over window rounds) or maxRounds; on convergence it
+// broadcasts a stop and lets the protocol drain.
+func (r *Runtime) RunUntilConverged(maxRounds int, relTol float64, window int) (*Result, error) {
+	det := stats.NewConvergenceDetector(relTol, window)
+	return r.run(maxRounds, det)
+}
+
+// run starts all nodes, monitors reports at the coordinator, and joins.
+func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, error) {
+	if maxRounds <= 0 {
+		return nil, fmt.Errorf("dist: rounds must be positive, got %d", maxRounds)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(r.ctlNodes)*2+len(r.resNodes)*2+8)
+	for _, n := range r.resNodes {
+		wg.Add(1)
+		go func(n *resourceNode) {
+			defer wg.Done()
+			if err := n.run(maxRounds); err != nil {
+				errCh <- err
+			}
+		}(n)
+	}
+	for _, n := range r.ctlNodes {
+		wg.Add(1)
+		go func(n *controllerNode) {
+			defer wg.Done()
+			if err := n.run(maxRounds); err != nil {
+				errCh <- err
+			}
+		}(n)
+	}
+
+	// Coordinator: aggregate per-round utilities; on convergence, broadcast
+	// stop. The coordinator reads until all controllers have reported their
+	// final round.
+	res := &Result{UtilitySeries: stats.NewSeries("utility")}
+	coordDone := make(chan struct{})
+	go func() {
+		defer close(coordDone)
+		perRound := make(map[int]float64)
+		counts := make(map[int]int)
+		converged := false
+		nextEmit := 0
+		for m := range r.coordinator.Recv() {
+			if m.Kind != kindReport {
+				continue
+			}
+			var rm reportMsg
+			if err := m.Decode(&rm); err != nil {
+				errCh <- err
+				continue
+			}
+			perRound[rm.Round] += rm.Utility
+			counts[rm.Round]++
+			// Emit completed rounds strictly in order: a fast controller's
+			// round r+1 report can beat a slow controller's round r report.
+			for counts[nextEmit] == len(r.ctlNodes) {
+				u := perRound[nextEmit]
+				res.UtilitySeries.Append(float64(nextEmit), u)
+				delete(perRound, nextEmit)
+				delete(counts, nextEmit)
+				if det != nil && !converged && det.Observe(u) {
+					converged = true
+					res.Converged = true
+					r.broadcastStop(nextEmit+1, errCh)
+				}
+				nextEmit++
+			}
+		}
+	}()
+
+	wg.Wait()
+	r.coordinator.Close()
+	<-coordDone
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res.Rounds = res.UtilitySeries.Len()
+	res.Utility = res.UtilitySeries.Last()
+	for _, c := range r.controllers {
+		res.LatMs = append(res.LatMs, append([]float64(nil), c.LatMs...))
+	}
+	for _, a := range r.agents {
+		res.Mu = append(res.Mu, a.Mu)
+	}
+	return res, nil
+}
+
+// broadcastStop tells every node to stop after the given round.
+func (r *Runtime) broadcastStop(afterRound int, errCh chan<- error) {
+	msg := stopMsg{AfterRound: afterRound}
+	for ti := range r.p.Tasks {
+		if err := r.coordinator.Send(controllerAddr(r.p.Tasks[ti].Name), kindStop, msg); err != nil {
+			errCh <- err
+		}
+	}
+	for ri := range r.p.Resources {
+		if err := r.coordinator.Send(resourceAddr(r.p.Resources[ri].ID), kindStop, msg); err != nil {
+			errCh <- err
+		}
+	}
+}
+
+// Close releases all endpoints.
+func (r *Runtime) Close() error {
+	var first error
+	for _, n := range r.ctlNodes {
+		if err := n.ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, n := range r.resNodes {
+		if err := n.ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

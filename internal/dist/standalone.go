@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"fmt"
+
+	"lla/internal/core"
+	"lla/internal/price"
+	"lla/internal/transport"
+	"lla/internal/workload"
+)
+
+// Standalone node entry points: each process compiles the (identical,
+// deterministic) problem locally and runs exactly one node, so a deployment
+// can spread resources and controllers across machines (cmd/lla-node).
+// Standalone nodes do not send coordinator reports — a deployment without a
+// coordinator simply runs for the fixed number of rounds.
+
+// newStepFactory builds the step-sizer factory for a config.
+func newStepFactory(cfg core.Config) func() price.StepSizer {
+	return func() price.StepSizer {
+		if cfg.Step.Adaptive {
+			a := price.NewAdaptive(cfg.Step.Gamma)
+			a.Max = cfg.Step.Max
+			return a
+		}
+		return &price.Fixed{Value: cfg.Step.Gamma}
+	}
+}
+
+// RunResource runs the price agent of one resource for the given number of
+// rounds over the network, blocking until the protocol completes. It
+// returns the final resource price.
+func RunResource(w *workload.Workload, cfg core.Config, net transport.Network, resourceID string, rounds int) (float64, error) {
+	cfg = fillConfig(cfg)
+	p, err := core.Compile(w, cfg.WeightMode)
+	if err != nil {
+		return 0, err
+	}
+	ri := -1
+	for i := range p.Resources {
+		if p.Resources[i].ID == resourceID {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		return 0, fmt.Errorf("dist: unknown resource %q", resourceID)
+	}
+	ep, err := net.Endpoint(resourceAddr(resourceID))
+	if err != nil {
+		return 0, err
+	}
+	defer ep.Close()
+	agent := core.NewResourceAgent(p, ri, newStepFactory(cfg)(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu)
+	node := newResourceNode(p, ri, agent, ep)
+	if err := node.run(rounds); err != nil {
+		return 0, err
+	}
+	return agent.Mu, nil
+}
+
+// RunController runs the task controller of one task for the given number
+// of rounds, blocking until the protocol completes. It returns the final
+// per-subtask latencies keyed by subtask name, and the final task utility.
+func RunController(w *workload.Workload, cfg core.Config, net transport.Network, taskName string, rounds int) (map[string]float64, float64, error) {
+	cfg = fillConfig(cfg)
+	p, err := core.Compile(w, cfg.WeightMode)
+	if err != nil {
+		return nil, 0, err
+	}
+	ti := -1
+	for i := range p.Tasks {
+		if p.Tasks[i].Name == taskName {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
+		return nil, 0, fmt.Errorf("dist: unknown task %q", taskName)
+	}
+	ep, err := net.Endpoint(controllerAddr(taskName))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer ep.Close()
+	ctl := core.NewController(p, ti, newStepFactory(cfg), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.MaxInner)
+	node := newControllerNode(p, ti, ctl, ep)
+	node.reports = false
+	if err := node.run(rounds); err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]float64, len(ctl.LatMs))
+	for si, lat := range ctl.LatMs {
+		out[p.Tasks[ti].SubtaskNames[si]] = lat
+	}
+	return out, ctl.Utility(), nil
+}
+
+// Addresses returns the logical endpoint names a workload's deployment
+// needs (controllers, resources, coordinator), for building transport
+// registries.
+func Addresses(w *workload.Workload) []string {
+	out := []string{coordinatorAddr}
+	for _, t := range w.Tasks {
+		out = append(out, controllerAddr(t.Name))
+	}
+	for _, r := range w.Resources {
+		out = append(out, resourceAddr(r.ID))
+	}
+	return out
+}

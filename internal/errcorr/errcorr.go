@@ -1,0 +1,93 @@
+// Package errcorr implements the paper's online model error correction
+// (Section 6.3). The share model's latency prediction (c+l)/share is not
+// always accurate — job releases on a shared resource are not synchronized,
+// so the model over-predicts. The corrector compares high-percentile
+// measured latencies against the model's prediction, maintains an additive
+// error with exponential smoothing, and feeds it back into the optimizer's
+// share functions (share = (c+l)/(lat − err)).
+package errcorr
+
+import (
+	"fmt"
+	"math"
+
+	"lla/internal/stats"
+)
+
+// Config parametrizes a corrector.
+type Config struct {
+	// Alpha is the exponential-smoothing factor in (0,1] (default 0.3).
+	Alpha float64
+	// Percentile is the sample percentile compared against the model's
+	// prediction, in (0,1). The paper uses "high percentile samples
+	// (greater than 90th percentile)"; the default is 0.95.
+	Percentile float64
+	// MinSamples is the number of samples required before a correction is
+	// produced (default 20).
+	MinSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.Percentile == 0 {
+		c.Percentile = 0.95
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 20
+	}
+	return c
+}
+
+// Corrector tracks the additive model error of one subtask.
+type Corrector struct {
+	cfg  Config
+	ewma *stats.EWMA
+}
+
+// New returns a corrector.
+func New(cfg Config) (*Corrector, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("errcorr: alpha %v outside (0,1]", cfg.Alpha)
+	}
+	if cfg.Percentile <= 0 || cfg.Percentile >= 1 {
+		return nil, fmt.Errorf("errcorr: percentile %v outside (0,1)", cfg.Percentile)
+	}
+	if cfg.MinSamples < 1 {
+		return nil, fmt.Errorf("errcorr: MinSamples %d < 1", cfg.MinSamples)
+	}
+	return &Corrector{cfg: cfg, ewma: stats.NewEWMA(cfg.Alpha)}, nil
+}
+
+// Observe folds one measurement period into the error estimate: samples are
+// the period's measured latencies, predictedMs the model's current latency
+// prediction for the subtask. It returns true when the estimate was updated
+// (enough samples were available).
+func (c *Corrector) Observe(samples *stats.Reservoir, predictedMs float64) bool {
+	if samples.Count() < c.cfg.MinSamples {
+		return false
+	}
+	measured := samples.Quantile(c.cfg.Percentile)
+	if math.IsNaN(measured) {
+		return false
+	}
+	c.ewma.Add(measured - predictedMs)
+	return true
+}
+
+// ErrMs returns the smoothed additive error (measured − modeled), or 0
+// before any observation. A negative value means the model over-predicts.
+func (c *Corrector) ErrMs() float64 {
+	if !c.ewma.Initialized() {
+		return 0
+	}
+	return c.ewma.Value()
+}
+
+// Initialized reports whether at least one period has been folded in.
+func (c *Corrector) Initialized() bool { return c.ewma.Initialized() }
+
+// Reset forgets all history.
+func (c *Corrector) Reset() { c.ewma.Reset() }

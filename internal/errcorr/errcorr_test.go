@@ -1,0 +1,105 @@
+package errcorr
+
+import (
+	"math"
+	"testing"
+
+	"lla/internal/stats"
+)
+
+func reservoirOf(values ...float64) *stats.Reservoir {
+	r := stats.NewReservoir(1024)
+	for _, v := range values {
+		r.Add(v)
+	}
+	return r
+}
+
+func constSamples(v float64, n int) *stats.Reservoir {
+	r := stats.NewReservoir(1024)
+	for i := 0; i < n; i++ {
+		r.Add(v)
+	}
+	return r
+}
+
+func TestCorrectorLearnsNegativeError(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ErrMs() != 0 || c.Initialized() {
+		t.Fatal("fresh corrector should report zero error")
+	}
+	// Model predicts 35ms; measured p95 is 17.5ms.
+	for i := 0; i < 50; i++ {
+		if !c.Observe(constSamples(17.5, 100), 35) {
+			t.Fatal("observation rejected")
+		}
+	}
+	if got := c.ErrMs(); math.Abs(got-(-17.5)) > 0.1 {
+		t.Errorf("ErrMs = %v, want ≈ -17.5", got)
+	}
+}
+
+func TestCorrectorUsesHighPercentile(t *testing.T) {
+	c, err := New(Config{Percentile: 0.9, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 samples: 99 at 10ms, 1 at 100ms -> p90 = 10.
+	r := stats.NewReservoir(1024)
+	for i := 0; i < 99; i++ {
+		r.Add(10)
+	}
+	r.Add(100)
+	c.Observe(r, 20)
+	got := c.ErrMs()
+	if math.Abs(got-(-10)) > 1.5 {
+		t.Errorf("ErrMs = %v, want ≈ -10 (p90-based)", got)
+	}
+}
+
+func TestCorrectorRequiresMinSamples(t *testing.T) {
+	c, err := New(Config{MinSamples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Observe(reservoirOf(1, 2, 3), 5) {
+		t.Error("observation with too few samples should be rejected")
+	}
+	if c.ErrMs() != 0 {
+		t.Errorf("ErrMs = %v, want 0", c.ErrMs())
+	}
+}
+
+func TestCorrectorSmoothing(t *testing.T) {
+	c, err := New(Config{Alpha: 0.5, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(constSamples(10, 10), 20) // err -10
+	c.Observe(constSamples(20, 10), 20) // err 0 -> smoothed -5
+	if got := c.ErrMs(); math.Abs(got-(-5)) > 1e-9 {
+		t.Errorf("ErrMs = %v, want -5", got)
+	}
+	c.Reset()
+	if c.ErrMs() != 0 || c.Initialized() {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestCorrectorConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Alpha: -1},
+		{Alpha: 2},
+		{Percentile: -0.5},
+		{Percentile: 1.5},
+		{MinSamples: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d (%+v) should fail", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package eval
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestPercentilesExperiment(t *testing.T) {
+	res, err := Percentiles(Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Tables[0].Rows))
+	}
+	for _, row := range res.Tables[0].Rows {
+		p, _ := strconv.ParseFloat(row[0], 64)
+		cov, _ := strconv.ParseFloat(row[3], 64)
+		if cov < p-2 {
+			t.Errorf("target p=%v: coverage %v below target", p, cov)
+		}
+	}
+}
+
+func TestAblationExperiments(t *testing.T) {
+	for _, run := range []func(Options) (*Result, error){AblationWeights, AblationBaselines, Adaptation} {
+		res, err := run(Options{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tables) == 0 || res.Render() == "" {
+			t.Errorf("%s: empty result", res.ID)
+		}
+	}
+}

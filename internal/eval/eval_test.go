@@ -1,0 +1,210 @@
+package eval
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lla/internal/stats"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "333") {
+		t.Errorf("render = %q", out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	res, err := Table1(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table1" || len(res.Tables) != 3 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	// All 21 subtasks present.
+	if len(res.Tables[0].Rows) != 21 {
+		t.Errorf("latency rows = %d, want 21", len(res.Tables[0].Rows))
+	}
+	// Max relative error column stays under 10% even in quick mode.
+	for _, row := range res.Tables[0].Rows {
+		rel, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("bad rel.err cell %q", row[6])
+		}
+		if rel > 10 {
+			t.Errorf("%s %s: rel err %.2f%% > 10%%", row[0], row[1], rel)
+		}
+	}
+	// Critical paths within their critical times and within 2% below.
+	for _, row := range res.Tables[1].Rows {
+		slack, _ := strconv.ParseFloat(row[4], 64)
+		if slack < -0.2 || slack > 2.5 {
+			t.Errorf("task %s slack %.2f%% outside [0, 2.5]", row[0], slack)
+		}
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFig5Reproduction(t *testing.T) {
+	res, err := Fig5(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(res.Series))
+	}
+	byName := map[string]int{}
+	for i, s := range res.Series {
+		byName[s.Name] = i
+	}
+	// gamma=10 oscillates much more than gamma=1 in the tail.
+	amp10 := res.Series[byName["gamma=10"]].TailAmplitude(0.2)
+	amp1 := res.Series[byName["gamma=1"]].TailAmplitude(0.2)
+	ampAd := res.Series[byName["adaptive"]].TailAmplitude(0.2)
+	if amp10 < 5*amp1 {
+		t.Errorf("gamma=10 amplitude %v should dwarf gamma=1 amplitude %v", amp10, amp1)
+	}
+	if ampAd > 0.01 {
+		t.Errorf("adaptive amplitude %v should be tiny", ampAd)
+	}
+	// Adaptive reaches the optimum.
+	if got := res.Series[byName["adaptive"]].Last(); math.Abs(got-188.7) > 1 {
+		t.Errorf("adaptive final utility = %v, want ≈188.7", got)
+	}
+}
+
+func TestFig6Reproduction(t *testing.T) {
+	res, err := Fig6(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 || len(res.Tables) != 1 {
+		t.Fatalf("unexpected shape")
+	}
+	// Utility grows roughly linearly: utility/task within 25% across scales.
+	var perTask []float64
+	for _, row := range res.Tables[0].Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perTask = append(perTask, v)
+	}
+	for _, v := range perTask[1:] {
+		if math.Abs(v-perTask[0])/perTask[0] > 0.25 {
+			t.Errorf("utility per task varies too much: %v", perTask)
+		}
+	}
+	// Convergence speed roughly independent of task count: all feasible
+	// within the quick budget.
+	for _, row := range res.Tables[0].Rows {
+		it, _ := strconv.ParseFloat(row[1], 64)
+		if it < 0 {
+			t.Errorf("%s tasks never feasible", row[0])
+		}
+	}
+}
+
+func TestFig7Reproduction(t *testing.T) {
+	res, err := Fig7(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unschedulable verdict must hold: either residual constraint
+	// violation or sustained oscillation.
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "schedulable verdict: false") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected unschedulable verdict, notes: %v", res.Notes)
+	}
+	if len(res.Series) != 9 { // utility + 8 resources
+		t.Errorf("series = %d, want 9", len(res.Series))
+	}
+}
+
+func TestFig8Reproduction(t *testing.T) {
+	res, err := Fig8(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Tables[0].Rows[0] // fast
+	before, _ := strconv.ParseFloat(row[1], 64)
+	after, _ := strconv.ParseFloat(row[2], 64)
+	if math.Abs(before-10.0/35) > 0.01 {
+		t.Errorf("fast before = %v, want ≈0.286 (model optimum)", before)
+	}
+	if math.Abs(after-0.2) > 0.015 {
+		t.Errorf("fast after = %v, want ≈0.20 (minimum share)", after)
+	}
+	rowSlow := res.Tables[0].Rows[1]
+	afterSlow, _ := strconv.ParseFloat(rowSlow[2], 64)
+	if math.Abs(afterSlow-0.25) > 0.015 {
+		t.Errorf("slow after = %v, want ≈0.25", afterSlow)
+	}
+	// The learned error is clearly negative (model over-predicts).
+	if last := res.Series[2].Last(); last > -5 {
+		t.Errorf("learned fast error = %v ms, want clearly negative", last)
+	}
+}
+
+func TestAllExperimentsRender(t *testing.T) {
+	runs := []func(Options) (*Result, error){Table1, Fig5, Fig6, Fig7, Fig8}
+	for i, run := range runs {
+		res, err := run(Options{Quick: true, Seed: 2})
+		if err != nil {
+			t.Fatalf("experiment %d: %v", i, err)
+		}
+		out := res.Render()
+		if !strings.Contains(out, res.ID) || len(out) < 100 {
+			t.Errorf("experiment %s: render too small", res.ID)
+		}
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	s1 := statsSeries("a", []float64{0, 1, 2, 3}, []float64{0, 1, 4, 9})
+	s2 := statsSeries("b", []float64{0, 1, 2, 3}, []float64{9, 4, 1, 0})
+	out := AsciiPlot(40, 10, s1, s2)
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "+=b") {
+		t.Errorf("legend missing: %q", out)
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "+--") {
+		t.Errorf("axes missing: %q", out)
+	}
+	// Degenerate inputs.
+	if out := AsciiPlot(40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+	flat := statsSeries("flat", []float64{0, 1}, []float64{5, 5})
+	if out := AsciiPlot(40, 10, flat); out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("flat plot = %q", out)
+	}
+	// Tiny dimensions are floored.
+	if out := AsciiPlot(1, 1, s1); out == "" {
+		t.Error("tiny plot empty")
+	}
+}
+
+func statsSeries(name string, xs, ys []float64) *stats.Series {
+	s := stats.NewSeries(name)
+	for i := range xs {
+		s.Append(xs[i], ys[i])
+	}
+	return s
+}

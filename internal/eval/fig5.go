@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+
+	"lla/internal/core"
+	"lla/internal/stats"
+	"lla/internal/workload"
+)
+
+// Fig5 reproduces Figure 5: system utility versus iteration on the base
+// workload for fixed step sizes gamma in {0.1, 1, 10} and the adaptive
+// heuristic, demonstrating the step-size trade-off the paper reports —
+// gamma=10 oscillates with high amplitude, gamma=0.1 converges only after
+// far more than 500 iterations, gamma=1 converges around 500 iterations,
+// and the adaptive heuristic stabilizes fastest.
+func Fig5(opts Options) (*Result, error) {
+	iters := 500
+	if opts.Quick {
+		iters = 200
+	}
+	configs := []struct {
+		name string
+		step core.StepPolicy
+	}{
+		{"gamma=0.1", core.StepPolicy{Gamma: 0.1}},
+		{"gamma=1", core.StepPolicy{Gamma: 1}},
+		{"gamma=10", core.StepPolicy{Gamma: 10}},
+		{"adaptive", core.StepPolicy{Adaptive: true, Gamma: 1}},
+	}
+
+	res := &Result{
+		ID:    "fig5",
+		Title: "Effect of fixed and adaptive step sizes (utility vs iteration)",
+	}
+	summary := &Table{
+		Title:  "Convergence summary",
+		Header: []string{"config", "final utility", "tail amplitude", "first feasible iter", "verdict"},
+	}
+
+	for _, cfg := range configs {
+		e, err := core.NewEngine(workload.Base(), core.Config{Step: cfg.step})
+		if err != nil {
+			return nil, err
+		}
+		series := stats.NewSeries(cfg.name)
+		firstFeasible := -1
+		e.Run(iters, func(s core.Snapshot) {
+			series.Append(float64(s.Iteration), s.Utility)
+			if firstFeasible < 0 && s.Iteration > 5 && s.Feasible(1e-2) {
+				firstFeasible = s.Iteration
+			}
+		})
+		amp := series.TailAmplitude(0.2)
+		verdict := "converged"
+		switch {
+		case amp > 0.05:
+			verdict = "oscillating"
+		case firstFeasible < 0:
+			verdict = "slow (not yet feasible)"
+		}
+		res.Series = append(res.Series, series)
+		summary.AddRow(cfg.name, f2(series.Last()), fmt.Sprintf("%.4f", amp),
+			fmt.Sprintf("%d", firstFeasible), verdict)
+	}
+	res.Tables = append(res.Tables, summary)
+	res.Notes = append(res.Notes,
+		"paper: gamma=10 oscillates with high amplitude; gamma=1 converges around iteration 500;",
+		"gamma=0.1 needs >1000 iterations; adaptive stabilizes faster and to a better value.",
+		"note: the paper's absolute utility scale for Figure 5 is not recoverable from the text;",
+		"the faithful parametrization converges to ≈188.7 (see DESIGN.md).",
+	)
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"lla/internal/core"
+	"lla/internal/stats"
+	"lla/internal/workload"
+)
+
+// Fig7 reproduces Figure 7: using LLA to test the schedulability of a
+// workload (Section 5.4). The six-task workload keeps the original critical
+// times, making it unschedulable; the utility and per-resource share sums
+// fail to converge and the critical-path latencies overshoot their
+// constraints (the paper reports ratios of 1.75-2.41).
+func Fig7(opts Options) (*Result, error) {
+	iters := 500
+	if opts.Quick {
+		iters = 150
+	}
+	w, err := workload.Replicate(workload.Base(), 2, 1) // unscaled critical times
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.NewEngine(w, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:    "fig7",
+		Title: "Using LLA to test workload schedulability (6 tasks, unscaled critical times)",
+	}
+	utility := stats.NewSeries("utility")
+	shareSeries := make([]*stats.Series, len(w.Resources))
+	for ri, r := range w.Resources {
+		shareSeries[ri] = stats.NewSeries("share-" + r.ID)
+	}
+	var last core.Snapshot
+	minRatio, maxRatio := math.Inf(1), 0.0
+	e.Run(iters, func(s core.Snapshot) {
+		utility.Append(float64(s.Iteration), s.Utility)
+		for ri := range shareSeries {
+			shareSeries[ri].Append(float64(s.Iteration), s.ShareSums[ri])
+		}
+		last = s
+	})
+	for ti := range last.CriticalPathMs {
+		ratio := last.CriticalPathMs[ti] / last.CriticalTimeMs[ti]
+		minRatio = math.Min(minRatio, ratio)
+		maxRatio = math.Max(maxRatio, ratio)
+	}
+	res.Series = append(res.Series, utility)
+	res.Series = append(res.Series, shareSeries...)
+
+	summary := &Table{
+		Title:  "Schedulability diagnostics after the run",
+		Header: []string{"metric", "value", "paper"},
+	}
+	summary.AddRow("utility tail amplitude", fmt.Sprintf("%.4f", utility.TailAmplitude(0.3)), "no convergence")
+	summary.AddRow("max resource violation", f3(last.MaxResourceViolation), "shares not converged")
+	summary.AddRow("max path violation frac", f3(last.MaxPathViolationFrac), "constraints violated")
+	summary.AddRow("crit.path / crit.time min", f2(minRatio), "1.75")
+	summary.AddRow("crit.path / crit.time max", f2(maxRatio), "2.41")
+	res.Tables = append(res.Tables, summary)
+
+	feasible := last.Feasible(1e-3) && utility.TailAmplitude(0.3) < 1e-3
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("schedulable verdict: %v (an unschedulable workload must not converge to a feasible point)", feasible),
+		"paper: across all tasks the critical path latencies are 1.75-2.41x the constraint;",
+		"our price dynamics settle the infeasible point closer to the constraint surface —",
+		"the qualitative signal (violated constraints, non-converging shares) is the same.",
+	)
+	return res, nil
+}

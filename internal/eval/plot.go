@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lla/internal/stats"
+)
+
+// plotRunes mark the series in an ASCII plot, cycling when there are more
+// series than runes.
+var plotRunes = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&', '~'}
+
+// AsciiPlot renders one or more series as a terminal chart: y is scaled to
+// the given height in rows, x to the given width in columns; each series is
+// drawn with its own marker. It is intentionally simple — lla-sim uses it
+// so the paper's figures are legible straight from the terminal, with the
+// CSV output available for real plotting.
+func AsciiPlot(width, height int, series ...*stats.Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.Y {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			any = true
+			xLo = math.Min(xLo, s.X[i])
+			xHi = math.Max(xHi, s.X[i])
+			yLo = math.Min(yLo, s.Y[i])
+			yHi = math.Max(yHi, s.Y[i])
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := plotRunes[si%len(plotRunes)]
+		for i := range s.Y {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			col := int((s.X[i] - xLo) / (xHi - xLo) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-yLo)/(yHi-yLo)*float64(height-1))
+			if grid[row][col] == ' ' || grid[row][col] == marker {
+				grid[row][col] = marker
+			} else {
+				grid[row][col] = '?' // collision between series
+			}
+		}
+	}
+
+	var b strings.Builder
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.4g |", yHi)
+		case height - 1:
+			fmt.Fprintf(&b, "%10.4g |", yLo)
+		default:
+			b.WriteString("           |")
+		}
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("           +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "            %-10.4g%*s\n", xLo, width-10, fmt.Sprintf("%.4g", xHi))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotRunes[si%len(plotRunes)], s.Name))
+	}
+	fmt.Fprintf(&b, "            %s\n", strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package price
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdateResourceDirection(t *testing.T) {
+	// Over-subscribed resource: price rises.
+	if got := UpdateResource(1, 0.5, 1.0, 1.2); math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("congested update = %v, want 1.1", got)
+	}
+	// Under-subscribed: price falls.
+	if got := UpdateResource(1, 0.5, 1.0, 0.8); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("uncongested update = %v, want 0.9", got)
+	}
+	// Exactly balanced: unchanged.
+	if got := UpdateResource(1, 0.5, 1.0, 1.0); got != 1 {
+		t.Errorf("balanced update = %v, want 1", got)
+	}
+}
+
+func TestUpdateResourceProjection(t *testing.T) {
+	if got := UpdateResource(0.1, 1.0, 1.0, 0.2); got != 0 {
+		t.Errorf("price should project to 0, got %v", got)
+	}
+}
+
+func TestUpdatePathDirection(t *testing.T) {
+	// Path over deadline: price rises.
+	if got := UpdatePath(1, 0.5, 90, 45); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("violated path update = %v, want 1.5", got)
+	}
+	// Path with slack: price falls.
+	if got := UpdatePath(1, 0.5, 22.5, 45); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("slack path update = %v, want 0.75", got)
+	}
+	// Projection.
+	if got := UpdatePath(0.01, 1, 10, 100); got != 0 {
+		t.Errorf("path price should project to 0, got %v", got)
+	}
+}
+
+// Property: prices never go negative and move monotonically with congestion.
+func TestUpdateProperties(t *testing.T) {
+	f := func(muU, gammaU, sumU uint16) bool {
+		mu := float64(muU) / 100
+		gamma := float64(gammaU)/1000 + 0.001
+		sum := float64(sumU) / 100
+		next := UpdateResource(mu, gamma, 1.0, sum)
+		if next < 0 {
+			return false
+		}
+		if sum > 1 && next < mu {
+			return false // congestion must not lower the price
+		}
+		if sum < 1 && next > mu {
+			return false // slack must not raise the price
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedStepSizer(t *testing.T) {
+	f := &Fixed{Value: 2.5}
+	if f.Gamma() != 2.5 {
+		t.Errorf("Gamma = %v, want 2.5", f.Gamma())
+	}
+	f.Observe(true)
+	f.Observe(false)
+	f.Reset()
+	if f.Gamma() != 2.5 {
+		t.Errorf("Fixed must never change, got %v", f.Gamma())
+	}
+}
+
+func TestAdaptiveDoublesWhileCongested(t *testing.T) {
+	a := NewAdaptive(1)
+	if a.Gamma() != 1 {
+		t.Fatalf("initial Gamma = %v, want 1", a.Gamma())
+	}
+	a.Observe(true)
+	if a.Gamma() != 2 {
+		t.Errorf("after 1 congested iter Gamma = %v, want 2", a.Gamma())
+	}
+	a.Observe(true)
+	a.Observe(true)
+	if a.Gamma() != 8 {
+		t.Errorf("after 3 congested iters Gamma = %v, want 8", a.Gamma())
+	}
+	a.Observe(false)
+	if a.Gamma() != 1 {
+		t.Errorf("after decongestion Gamma = %v, want 1 (revert to base)", a.Gamma())
+	}
+}
+
+func TestAdaptiveCap(t *testing.T) {
+	a := NewAdaptive(1)
+	a.Max = 4
+	for i := 0; i < 10; i++ {
+		a.Observe(true)
+	}
+	if a.Gamma() != 4 {
+		t.Errorf("Gamma = %v, want capped at 4", a.Gamma())
+	}
+	// Default cap applies when Max is zero.
+	d := NewAdaptive(1)
+	for i := 0; i < 40; i++ {
+		d.Observe(true)
+	}
+	if d.Gamma() != DefaultAdaptiveMax {
+		t.Errorf("Gamma = %v, want default cap %v", d.Gamma(), DefaultAdaptiveMax)
+	}
+}
+
+func TestAdaptiveReset(t *testing.T) {
+	a := NewAdaptive(0.5)
+	a.Observe(true)
+	a.Reset()
+	if a.Gamma() != 0.5 {
+		t.Errorf("after Reset Gamma = %v, want 0.5", a.Gamma())
+	}
+}
+
+func TestAdaptiveZeroValueStruct(t *testing.T) {
+	// A zero-value Adaptive with only Base set lazily initializes.
+	a := &Adaptive{Base: 2}
+	if a.Gamma() != 2 {
+		t.Errorf("lazy Gamma = %v, want 2", a.Gamma())
+	}
+	b := &Adaptive{Base: 2}
+	b.Observe(true)
+	if b.Gamma() != 4 {
+		t.Errorf("lazy Observe Gamma = %v, want 4", b.Gamma())
+	}
+}
+
+func TestNewAdaptivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive base")
+		}
+	}()
+	NewAdaptive(0)
+}

@@ -1,0 +1,132 @@
+package sched
+
+import "fmt"
+
+// GPS is a fluid Generalized Processor Sharing scheduler: at every instant,
+// the head job of each backlogged flow is served at rate
+// weight_f / Σ_{backlogged g} weight_g (times the resource's unit capacity),
+// and jobs within a flow are served FIFO. It is the idealized
+// proportional-share discipline that real PS schedulers approximate.
+type GPS struct {
+	nowMs   float64
+	weights map[int]float64
+	queues  map[int][]*Job
+	// backlogged caches Σ weights of flows with work, maintained
+	// incrementally.
+	weightSum float64
+}
+
+var _ Scheduler = (*GPS)(nil)
+
+// NewGPS returns an empty fluid scheduler.
+func NewGPS() *GPS {
+	return &GPS{
+		weights: make(map[int]float64),
+		queues:  make(map[int][]*Job),
+	}
+}
+
+// SetWeight implements Scheduler.
+func (g *GPS) SetWeight(nowMs float64, flow int, weight float64) {
+	if weight < 0 {
+		panic(fmt.Sprintf("sched: negative weight %v", weight))
+	}
+	g.AdvanceTo(nowMs)
+	if len(g.queues[flow]) > 0 {
+		g.weightSum += weight - g.weights[flow]
+	}
+	g.weights[flow] = weight
+}
+
+// Enqueue implements Scheduler.
+func (g *GPS) Enqueue(nowMs float64, job *Job) {
+	g.AdvanceTo(nowMs)
+	if len(g.queues[job.Flow]) == 0 {
+		g.weightSum += g.weights[job.Flow]
+	}
+	g.queues[job.Flow] = append(g.queues[job.Flow], job)
+}
+
+// rate returns flow's current service rate.
+func (g *GPS) rate(flow int) float64 {
+	if g.weightSum <= 0 {
+		// All backlogged flows have zero weight: serve them equally (a real
+		// scheduler would not starve them completely).
+		n := 0
+		for f, q := range g.queues {
+			if len(q) > 0 && g.weights[f] == 0 {
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return 1 / float64(n)
+	}
+	return g.weights[flow] / g.weightSum
+}
+
+// NextEventMs implements Scheduler.
+func (g *GPS) NextEventMs() float64 {
+	next := inf()
+	for f, q := range g.queues {
+		if len(q) == 0 {
+			continue
+		}
+		r := g.rate(f)
+		if r <= 0 {
+			continue
+		}
+		if t := g.nowMs + q[0].DemandMs/r; t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// AdvanceTo implements Scheduler. Completions strictly before nowMs fire in
+// chronological order; service between completions is fluid.
+func (g *GPS) AdvanceTo(nowMs float64) {
+	for g.nowMs < nowMs {
+		next := g.NextEventMs()
+		step := nowMs
+		if next < step {
+			step = next
+		}
+		dt := step - g.nowMs
+		if dt > 0 {
+			for f, q := range g.queues {
+				if len(q) == 0 {
+					continue
+				}
+				q[0].DemandMs -= dt * g.rate(f)
+			}
+		}
+		g.nowMs = step
+		// Complete all heads that reached zero (ties complete together).
+		var done []*Job
+		for f, q := range g.queues {
+			for len(q) > 0 && q[0].DemandMs <= 1e-9 {
+				done = append(done, q[0])
+				q = q[1:]
+			}
+			g.queues[f] = q
+			if len(q) == 0 {
+				g.weightSum -= g.weights[f]
+				if g.weightSum < 1e-12 {
+					g.weightSum = 0
+				}
+				delete(g.queues, f)
+			}
+		}
+		for _, j := range done {
+			j.Done(g.nowMs)
+		}
+		if len(done) == 0 && step == nowMs {
+			return
+		}
+	}
+}
+
+// Backlog implements Scheduler.
+func (g *GPS) Backlog(flow int) int { return len(g.queues[flow]) }

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quantum is a quantum-based weighted round-robin scheduler: it serves one
+// backlogged flow at a time for a time slice proportional to the flow's
+// weight, then rotates. Long-run service is proportional-share like GPS,
+// but short-term service is bursty: a job arriving while other flows hold
+// the server waits for their slices — the scheduling lag that the paper's
+// share model charges as l_r, and whose residual mismatch the online error
+// correction absorbs.
+type Quantum struct {
+	nowMs     float64
+	quantumMs float64
+	weights   map[int]float64
+	queues    map[int][]*Job
+	// order is the deterministic rotation order (flows in first-seen order,
+	// kept sorted for reproducibility).
+	order  []int
+	cursor int
+	// serving is the flow currently holding the server (-1 when none);
+	// sliceLeft is its remaining slice.
+	serving   int
+	sliceLeft float64
+}
+
+var _ Scheduler = (*Quantum)(nil)
+
+// NewQuantum returns a weighted round-robin scheduler with the given base
+// quantum: a flow of weight w is served in slices of w*quantumMs.
+func NewQuantum(quantumMs float64) *Quantum {
+	if quantumMs <= 0 {
+		panic(fmt.Sprintf("sched: quantum must be positive, got %v", quantumMs))
+	}
+	return &Quantum{
+		quantumMs: quantumMs,
+		weights:   make(map[int]float64),
+		queues:    make(map[int][]*Job),
+		serving:   -1,
+	}
+}
+
+// SetWeight implements Scheduler.
+func (q *Quantum) SetWeight(nowMs float64, flow int, weight float64) {
+	if weight < 0 {
+		panic(fmt.Sprintf("sched: negative weight %v", weight))
+	}
+	q.AdvanceTo(nowMs)
+	if _, seen := q.weights[flow]; !seen {
+		q.order = append(q.order, flow)
+		sort.Ints(q.order)
+	}
+	q.weights[flow] = weight
+}
+
+// Enqueue implements Scheduler.
+func (q *Quantum) Enqueue(nowMs float64, job *Job) {
+	q.AdvanceTo(nowMs)
+	if _, seen := q.weights[job.Flow]; !seen {
+		q.weights[job.Flow] = 0
+		q.order = append(q.order, job.Flow)
+		sort.Ints(q.order)
+	}
+	q.queues[job.Flow] = append(q.queues[job.Flow], job)
+	q.ensureServing()
+}
+
+// ensureServing maintains the invariant that a slice is active whenever work
+// is queued, so NextEventMs always reports a strictly future event (event
+// loops would otherwise spin on a wakeup at the current instant).
+func (q *Quantum) ensureServing() {
+	if q.serving == -1 {
+		q.pickNext()
+	}
+}
+
+// sliceFor returns the slice duration for a flow; zero-weight flows get a
+// small slice so they are not starved (work conservation).
+func (q *Quantum) sliceFor(flow int) float64 {
+	w := q.weights[flow]
+	if w < 0.001 {
+		w = 0.001
+	}
+	return w * q.quantumMs
+}
+
+// pickNext selects the next backlogged flow in rotation order and charges it
+// a fresh slice. It returns false when every queue is empty.
+func (q *Quantum) pickNext() bool {
+	n := len(q.order)
+	for i := 0; i < n; i++ {
+		f := q.order[(q.cursor+i)%n]
+		if len(q.queues[f]) > 0 {
+			q.cursor = (q.cursor + i + 1) % n
+			q.serving = f
+			q.sliceLeft = q.sliceFor(f)
+			return true
+		}
+	}
+	q.serving = -1
+	return false
+}
+
+// NextEventMs implements Scheduler. It returns the next time the internal
+// state changes (a completion or a slice rotation); the caller re-arms after
+// advancing, so rotation-only wakeups are harmless.
+func (q *Quantum) NextEventMs() float64 {
+	if q.serving == -1 {
+		return inf() // ensureServing keeps a slice active whenever backlogged
+	}
+	head := q.queues[q.serving][0]
+	step := head.DemandMs
+	if q.sliceLeft < step {
+		step = q.sliceLeft
+	}
+	return q.nowMs + step
+}
+
+// AdvanceTo implements Scheduler.
+func (q *Quantum) AdvanceTo(nowMs float64) {
+	for q.nowMs < nowMs {
+		if q.serving == -1 && !q.pickNext() {
+			q.nowMs = nowMs
+			return
+		}
+		head := q.queues[q.serving][0]
+		step := nowMs - q.nowMs
+		if head.DemandMs < step {
+			step = head.DemandMs
+		}
+		if q.sliceLeft < step {
+			step = q.sliceLeft
+		}
+		head.DemandMs -= step
+		q.sliceLeft -= step
+		q.nowMs += step
+		if head.DemandMs <= 1e-9 {
+			q.queues[q.serving] = q.queues[q.serving][1:]
+			if len(q.queues[q.serving]) == 0 {
+				delete(q.queues, q.serving)
+				q.serving = -1
+			}
+			head.Done(q.nowMs)
+		}
+		if q.sliceLeft <= 1e-9 {
+			q.serving = -1
+		}
+	}
+	q.ensureServing()
+}
+
+// Backlog implements Scheduler.
+func (q *Quantum) Backlog(flow int) int { return len(q.queues[flow]) }

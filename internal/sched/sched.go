@@ -1,0 +1,53 @@
+// Package sched implements the proportional-share schedulers that the
+// simulator uses as resource servers — the reproduction's substitute for the
+// paper's modified Surplus Fair-Share kernel scheduler (Section 6.1).
+//
+// Two schedulers are provided: a fluid Generalized Processor Sharing (GPS)
+// scheduler, which serves every backlogged flow simultaneously at a rate
+// proportional to its weight, and a quantum-based weighted round-robin
+// scheduler, which serves one flow at a time in weighted time slices and so
+// exhibits the scheduling lag and release-desynchronization effects that the
+// paper's online model error correction (Section 6.3) must absorb.
+//
+// Both schedulers are event-driven and work-conserving: idle flows' capacity
+// is redistributed to backlogged flows.
+package sched
+
+import "math"
+
+// Job is a unit of work submitted to a scheduler.
+type Job struct {
+	// Flow identifies the proportional-share flow (one per subtask hosted
+	// on the resource).
+	Flow int
+	// DemandMs is the remaining service demand in milliseconds of dedicated
+	// resource time.
+	DemandMs float64
+	// Done is invoked exactly once, when the job completes, with the
+	// completion timestamp.
+	Done func(nowMs float64)
+}
+
+// Scheduler is an event-driven proportional-share resource server. The
+// simulation engine drives it with a monotone clock: Enqueue and SetWeight
+// mutate state at the current time, NextEventMs exposes the earliest
+// internal completion, and AdvanceTo moves the clock forward, firing Done
+// callbacks for all jobs completing on the way.
+type Scheduler interface {
+	// SetWeight assigns flow's proportional-share weight (its resource
+	// share). The scheduler must already be advanced to nowMs.
+	SetWeight(nowMs float64, flow int, weight float64)
+	// Enqueue submits a job at nowMs.
+	Enqueue(nowMs float64, job *Job)
+	// NextEventMs returns the absolute time of the next job completion, or
+	// +Inf when idle.
+	NextEventMs() float64
+	// AdvanceTo moves the internal clock to nowMs (>= the current time),
+	// completing jobs along the way.
+	AdvanceTo(nowMs float64)
+	// Backlog returns the number of queued-or-running jobs of the flow.
+	Backlog(flow int) int
+}
+
+// inf is the idle sentinel.
+func inf() float64 { return math.Inf(1) }

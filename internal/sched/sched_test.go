@@ -1,0 +1,263 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// collect runs the scheduler with the given jobs (flow, demand, arrival) and
+// returns completion times keyed by job index.
+type arrival struct {
+	atMs     float64
+	flow     int
+	demandMs float64
+}
+
+func runSchedule(s Scheduler, weights map[int]float64, arrivals []arrival, untilMs float64) map[int]float64 {
+	for f, w := range weights {
+		s.SetWeight(0, f, w)
+	}
+	done := make(map[int]float64)
+	sorted := append([]arrival(nil), arrivals...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].atMs < sorted[j].atMs })
+	for i, a := range sorted {
+		idx := i
+		s.AdvanceTo(a.atMs)
+		s.Enqueue(a.atMs, &Job{Flow: a.flow, DemandMs: a.demandMs, Done: func(t float64) { done[idx] = t }})
+	}
+	s.AdvanceTo(untilMs)
+	return done
+}
+
+func TestGPSSingleJobFullRate(t *testing.T) {
+	g := NewGPS()
+	done := runSchedule(g, map[int]float64{0: 0.5}, []arrival{{0, 0, 10}}, 100)
+	// Work conservation: the only backlogged flow gets the full resource.
+	if math.Abs(done[0]-10) > 1e-9 {
+		t.Errorf("completion = %v, want 10 (work conserving)", done[0])
+	}
+}
+
+func TestGPSProportionalSharing(t *testing.T) {
+	g := NewGPS()
+	// Two flows, weights 1:3, simultaneous 10ms demands.
+	done := runSchedule(g, map[int]float64{0: 0.25, 1: 0.75},
+		[]arrival{{0, 0, 10}, {0, 1, 10}}, 1000)
+	// Flow 1 at rate 0.75 finishes at 13.33; then flow 0 runs alone:
+	// by 13.33 flow 0 has done 13.33*0.25 = 3.33, remaining 6.67 at rate 1
+	// -> completes at 20.
+	if math.Abs(done[1]-40.0/3) > 1e-6 {
+		t.Errorf("flow1 completion = %v, want 13.333", done[1])
+	}
+	if math.Abs(done[0]-20) > 1e-6 {
+		t.Errorf("flow0 completion = %v, want 20", done[0])
+	}
+}
+
+func TestGPSFIFOWithinFlow(t *testing.T) {
+	g := NewGPS()
+	done := runSchedule(g, map[int]float64{0: 1},
+		[]arrival{{0, 0, 5}, {1, 0, 5}}, 100)
+	if !(done[0] < done[1]) {
+		t.Errorf("FIFO violated: %v >= %v", done[0], done[1])
+	}
+	if math.Abs(done[1]-10) > 1e-9 {
+		t.Errorf("second job completion = %v, want 10", done[1])
+	}
+}
+
+func TestGPSLateArrivalResharing(t *testing.T) {
+	g := NewGPS()
+	// Flow 0 alone until t=5, then flow 1 (equal weight) joins.
+	done := runSchedule(g, map[int]float64{0: 0.5, 1: 0.5},
+		[]arrival{{0, 0, 10}, {5, 1, 10}}, 1000)
+	// Flow 0: 5ms at rate 1, then 5 remaining at rate 0.5 -> t=15.
+	if math.Abs(done[0]-15) > 1e-6 {
+		t.Errorf("flow0 completion = %v, want 15", done[0])
+	}
+	// Flow 1: from t=5 at rate .5 until t=15, 5 done; then alone -> t=20.
+	if math.Abs(done[1]-20) > 1e-6 {
+		t.Errorf("flow1 completion = %v, want 20", done[1])
+	}
+}
+
+func TestGPSSetWeightMidRun(t *testing.T) {
+	g := NewGPS()
+	g.SetWeight(0, 0, 0.5)
+	g.SetWeight(0, 1, 0.5)
+	var doneAt float64
+	g.Enqueue(0, &Job{Flow: 0, DemandMs: 10, Done: func(ts float64) { doneAt = ts }})
+	g.Enqueue(0, &Job{Flow: 1, DemandMs: 100, Done: func(float64) {}})
+	g.AdvanceTo(10) // flow 0 has 5 done
+	g.SetWeight(10, 0, 0.9)
+	g.SetWeight(10, 1, 0.1)
+	g.AdvanceTo(100)
+	// Remaining 5 at rate 0.9 -> completes at 10 + 5/0.9 = 15.56.
+	if math.Abs(doneAt-(10+5/0.9)) > 1e-6 {
+		t.Errorf("completion = %v, want %v", doneAt, 10+5/0.9)
+	}
+}
+
+func TestGPSZeroWeightFlowsShareEqually(t *testing.T) {
+	g := NewGPS()
+	done := runSchedule(g, map[int]float64{0: 0, 1: 0},
+		[]arrival{{0, 0, 5}, {0, 1, 5}}, 1000)
+	if len(done) != 2 {
+		t.Fatalf("zero-weight flows starved: %v", done)
+	}
+	if math.Abs(done[0]-10) > 1e-6 || math.Abs(done[1]-10) > 1e-6 {
+		t.Errorf("equal sharing expected, got %v", done)
+	}
+}
+
+func TestGPSIdleReturnsInf(t *testing.T) {
+	g := NewGPS()
+	if !math.IsInf(g.NextEventMs(), 1) {
+		t.Error("idle scheduler should report +Inf")
+	}
+	g.AdvanceTo(50)
+	if g.Backlog(0) != 0 {
+		t.Error("Backlog of empty flow should be 0")
+	}
+}
+
+func TestQuantumCompletesAllWork(t *testing.T) {
+	q := NewQuantum(5)
+	done := runSchedule(q, map[int]float64{0: 0.5, 1: 0.5},
+		[]arrival{{0, 0, 10}, {0, 1, 10}}, 1000)
+	if len(done) != 2 {
+		t.Fatalf("not all jobs completed: %v", done)
+	}
+	// Total demand 20ms on a unit resource: last completion at 20.
+	last := math.Max(done[0], done[1])
+	if math.Abs(last-20) > 1e-6 {
+		t.Errorf("last completion = %v, want 20 (work conserving)", last)
+	}
+}
+
+func TestQuantumLongRunProportionality(t *testing.T) {
+	q := NewQuantum(2)
+	// Saturate both flows with many jobs; measure completed work ratio.
+	weights := map[int]float64{0: 0.25, 1: 0.75}
+	var doneWork [2]float64
+	for f := 0; f < 2; f++ {
+		for j := 0; j < 400; j++ {
+			flow := f
+			q.SetWeight(0, flow, weights[flow])
+			q.Enqueue(0, &Job{Flow: flow, DemandMs: 1, Done: func(float64) { doneWork[flow]++ }})
+		}
+	}
+	q.AdvanceTo(400) // half the total demand
+	ratio := doneWork[1] / (doneWork[0] + 1e-9)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("work ratio = %v (done %v), want ≈3", ratio, doneWork)
+	}
+}
+
+func TestQuantumLagVersusGPS(t *testing.T) {
+	// A job arriving while another flow holds the server observes lag under
+	// quantum scheduling but not under GPS.
+	mk := func(s Scheduler) float64 {
+		s.SetWeight(0, 0, 0.5)
+		s.SetWeight(0, 1, 0.5)
+		s.Enqueue(0, &Job{Flow: 0, DemandMs: 50, Done: func(float64) {}})
+		var doneAt float64
+		s.AdvanceTo(1) // flow 0 slice in progress
+		s.Enqueue(1, &Job{Flow: 1, DemandMs: 0.5, Done: func(ts float64) { doneAt = ts }})
+		s.AdvanceTo(100)
+		return doneAt - 1
+	}
+	gpsLat := mk(NewGPS())
+	quantumLat := mk(NewQuantum(10))
+	if quantumLat <= gpsLat {
+		t.Errorf("quantum latency %v should exceed GPS latency %v (scheduling lag)", quantumLat, gpsLat)
+	}
+}
+
+func TestQuantumWorkConservingWhenOneFlowIdle(t *testing.T) {
+	q := NewQuantum(5)
+	done := runSchedule(q, map[int]float64{0: 0.1, 1: 0.9},
+		[]arrival{{0, 0, 10}}, 1000)
+	// Only flow 0 backlogged: it gets the full resource despite weight 0.1.
+	if math.Abs(done[0]-10) > 1e-6 {
+		t.Errorf("completion = %v, want 10", done[0])
+	}
+}
+
+func TestQuantumIdleAndUnknownFlow(t *testing.T) {
+	q := NewQuantum(5)
+	if !math.IsInf(q.NextEventMs(), 1) {
+		t.Error("idle quantum scheduler should report +Inf")
+	}
+	// Enqueue on a flow with no weight set: defaults to zero weight but is
+	// still served (work conservation).
+	var doneAt float64
+	q.Enqueue(0, &Job{Flow: 7, DemandMs: 2, Done: func(ts float64) { doneAt = ts }})
+	q.AdvanceTo(100)
+	if math.Abs(doneAt-2) > 1e-6 {
+		t.Errorf("completion = %v, want 2", doneAt)
+	}
+}
+
+func TestQuantumPanicsOnBadQuantum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQuantum(0)
+}
+
+func TestSchedulersPanicOnNegativeWeight(t *testing.T) {
+	for _, s := range []Scheduler{NewGPS(), NewQuantum(5)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T: expected panic on negative weight", s)
+				}
+			}()
+			s.SetWeight(0, 0, -1)
+		}()
+	}
+}
+
+// Property: under both schedulers, total completed work never exceeds
+// elapsed time (capacity 1) and all jobs complete when given enough time.
+func TestSchedulersConserveWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var schedulers []Scheduler
+		schedulers = append(schedulers, NewGPS(), NewQuantum(1+rng.Float64()*10))
+		nJobs := 5 + rng.Intn(20)
+		var arrivals []arrival
+		total := 0.0
+		lastArrival := 0.0
+		for j := 0; j < nJobs; j++ {
+			a := arrival{
+				atMs:     rng.Float64() * 50,
+				flow:     rng.Intn(4),
+				demandMs: 0.5 + rng.Float64()*5,
+			}
+			total += a.demandMs
+			if a.atMs > lastArrival {
+				lastArrival = a.atMs
+			}
+			arrivals = append(arrivals, a)
+		}
+		weights := map[int]float64{0: 0.1, 1: 0.2, 2: 0.3, 3: 0.4}
+		horizon := lastArrival + total + 10
+		for _, s := range schedulers {
+			done := runSchedule(s, weights, arrivals, horizon)
+			if len(done) != nJobs {
+				t.Fatalf("trial %d %T: %d of %d jobs completed", trial, s, len(done), nJobs)
+			}
+			for _, ts := range done {
+				if ts > horizon+1e-6 {
+					t.Fatalf("trial %d %T: completion %v beyond horizon", trial, s, ts)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSFQCompletesAllWork(t *testing.T) {
+	q := NewSFQ(5)
+	done := runSchedule(q, map[int]float64{0: 0.5, 1: 0.5},
+		[]arrival{{0, 0, 10}, {0, 1, 10}}, 1000)
+	if len(done) != 2 {
+		t.Fatalf("not all jobs completed: %v", done)
+	}
+	last := math.Max(done[0], done[1])
+	if math.Abs(last-20) > 1e-6 {
+		t.Errorf("last completion = %v, want 20 (work conserving)", last)
+	}
+}
+
+func TestSFQLongRunProportionality(t *testing.T) {
+	q := NewSFQ(2)
+	weights := map[int]float64{0: 0.25, 1: 0.75}
+	var doneWork [2]float64
+	for f := 0; f < 2; f++ {
+		for j := 0; j < 400; j++ {
+			flow := f
+			q.SetWeight(0, flow, weights[flow])
+			q.Enqueue(0, &Job{Flow: flow, DemandMs: 1, Done: func(float64) { doneWork[flow]++ }})
+		}
+	}
+	q.AdvanceTo(400)
+	ratio := doneWork[1] / (doneWork[0] + 1e-9)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("work ratio = %v (done %v), want ≈3", ratio, doneWork)
+	}
+}
+
+func TestSFQWorkConservingWhenAlone(t *testing.T) {
+	q := NewSFQ(5)
+	done := runSchedule(q, map[int]float64{0: 0.1}, []arrival{{0, 0, 12}}, 1000)
+	if math.Abs(done[0]-12) > 1e-6 {
+		t.Errorf("completion = %v, want 12", done[0])
+	}
+}
+
+// SFQ's virtual time prevents an idle flow from building up credit: a flow
+// that wakes up late competes fairly from "now" rather than monopolizing
+// the server to catch up.
+func TestSFQNoIdleCredit(t *testing.T) {
+	q := NewSFQ(1)
+	q.SetWeight(0, 0, 0.5)
+	q.SetWeight(0, 1, 0.5)
+	// Flow 0 runs alone for 100ms.
+	for i := 0; i < 100; i++ {
+		q.Enqueue(0, &Job{Flow: 0, DemandMs: 1, Done: func(float64) {}})
+	}
+	q.AdvanceTo(100)
+	// Now both flows offer work; over the next 40ms each should get ~half.
+	var got [2]float64
+	for i := 0; i < 40; i++ {
+		for f := 0; f < 2; f++ {
+			flow := f
+			q.Enqueue(100, &Job{Flow: flow, DemandMs: 1, Done: func(float64) { got[flow]++ }})
+		}
+	}
+	q.AdvanceTo(140)
+	if math.Abs(got[0]-got[1]) > 4 {
+		t.Errorf("post-idle split %v, want ≈ equal (no idle credit)", got)
+	}
+}
+
+// SFQ's fairness bound: a newly backlogged flow with a pending start tag at
+// the virtual time is served within one quantum per competing flow, so its
+// waiting time is bounded by (#flows)·quantum regardless of how much work
+// the competitors have queued.
+func TestSFQNewcomerDelayBounded(t *testing.T) {
+	const quantum = 10.0
+	s := NewSFQ(quantum)
+	s.SetWeight(0, 0, 0.5)
+	s.SetWeight(0, 1, 0.4)
+	s.SetWeight(0, 2, 0.1)
+	// Competitors with effectively infinite backlogs.
+	s.Enqueue(0, &Job{Flow: 0, DemandMs: 1000, Done: func(float64) {}})
+	s.Enqueue(0, &Job{Flow: 1, DemandMs: 1000, Done: func(float64) {}})
+	var doneAt float64
+	s.AdvanceTo(3)
+	s.Enqueue(3, &Job{Flow: 2, DemandMs: 0.5, Done: func(ts float64) { doneAt = ts }})
+	s.AdvanceTo(500)
+	wait := doneAt - 3
+	if wait <= 0 {
+		t.Fatal("newcomer never served")
+	}
+	if wait > 3*quantum {
+		t.Errorf("newcomer waited %v ms, want <= %v (bounded by flows×quantum)", wait, 3*quantum)
+	}
+}
+
+func TestSFQIdleAndValidation(t *testing.T) {
+	q := NewSFQ(5)
+	if !math.IsInf(q.NextEventMs(), 1) {
+		t.Error("idle SFQ should report +Inf")
+	}
+	if q.Backlog(3) != 0 {
+		t.Error("Backlog of unknown flow should be 0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on bad quantum")
+			}
+		}()
+		NewSFQ(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on negative weight")
+			}
+		}()
+		q.SetWeight(0, 0, -1)
+	}()
+}
+
+// Extend the cross-scheduler conservation property to SFQ.
+func TestSFQConservesWork(t *testing.T) {
+	arrivals := []arrival{
+		{0, 0, 3}, {1, 1, 2}, {2, 2, 4}, {5, 0, 1}, {7, 3, 2.5}, {9, 1, 1.5},
+	}
+	weights := map[int]float64{0: 0.1, 1: 0.2, 2: 0.3, 3: 0.4}
+	done := runSchedule(NewSFQ(2), weights, arrivals, 100)
+	if len(done) != len(arrivals) {
+		t.Fatalf("%d of %d jobs completed", len(done), len(arrivals))
+	}
+	// Total work 14ms arriving by t=9: all must finish by 9+14.
+	for i, ts := range done {
+		if ts > 23+1e-9 {
+			t.Errorf("job %d completed at %v, want <= 23", i, ts)
+		}
+	}
+}

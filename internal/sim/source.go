@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lla/internal/task"
+)
+
+// Source generates triggering-event arrival times for one task from its
+// trigger specification (Section 2: periodic, Poisson, or bursty on/off).
+type Source struct {
+	trig task.Trigger
+	rng  *rand.Rand
+	// onEndMs is the end of the current on-phase (bursty only).
+	onEndMs float64
+}
+
+// NewSource builds a deterministic (seeded) arrival generator.
+func NewSource(trig task.Trigger, rng *rand.Rand) (*Source, error) {
+	if err := trig.Validate(); err != nil {
+		return nil, err
+	}
+	if trig.Kind == 0 {
+		return nil, fmt.Errorf("sim: task has no trigger specification")
+	}
+	s := &Source{trig: trig, rng: rng}
+	if trig.Kind == task.TriggerBursty {
+		s.onEndMs = rng.ExpFloat64() * trig.OnMs
+	}
+	return s, nil
+}
+
+// Next returns the arrival time following nowMs.
+func (s *Source) Next(nowMs float64) float64 {
+	switch s.trig.Kind {
+	case task.TriggerPeriodic:
+		return nowMs + s.trig.PeriodMs
+	case task.TriggerPoisson:
+		return nowMs + s.rng.ExpFloat64()*s.trig.PeriodMs
+	case task.TriggerBursty:
+		t := nowMs + s.trig.PeriodMs
+		if t <= s.onEndMs {
+			return t
+		}
+		// The on-phase ended: insert an off gap, then start a new on-phase
+		// whose first arrival opens it.
+		start := s.onEndMs + s.rng.ExpFloat64()*s.trig.OffMs
+		if start < t {
+			start = t
+		}
+		s.onEndMs = start + s.rng.ExpFloat64()*s.trig.OnMs
+		return start
+	default:
+		panic(fmt.Sprintf("sim: unsupported trigger kind %v", s.trig.Kind))
+	}
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvergenceDetector decides whether a scalar iterate (typically the
+// aggregate utility) has converged: the relative change must stay below a
+// tolerance for a configured number of consecutive iterations. The paper's
+// prototype stops iterating "until the utility improvement from the previous
+// iteration is below 1%" (Section 6.4); this generalizes that rule with a
+// stability window.
+type ConvergenceDetector struct {
+	relTol float64
+	window int
+
+	prev     float64
+	havePrev bool
+	stable   int
+	steps    int
+	// convergedAt records the iteration index at which the window was first
+	// satisfied; -1 while unconverged.
+	convergedAt int
+}
+
+// NewConvergenceDetector returns a detector requiring |Δ|/max(|prev|,eps) <
+// relTol for window consecutive observations.
+func NewConvergenceDetector(relTol float64, window int) *ConvergenceDetector {
+	if relTol <= 0 || window <= 0 {
+		panic(fmt.Sprintf("stats: invalid convergence params relTol=%v window=%d", relTol, window))
+	}
+	return &ConvergenceDetector{relTol: relTol, window: window, convergedAt: -1}
+}
+
+// Observe feeds the next iterate value and reports whether the detector is
+// (now or previously) converged.
+func (c *ConvergenceDetector) Observe(v float64) bool {
+	c.steps++
+	if c.havePrev {
+		denom := math.Max(math.Abs(c.prev), 1e-12)
+		if math.Abs(v-c.prev)/denom < c.relTol {
+			c.stable++
+		} else {
+			c.stable = 0
+		}
+		if c.stable >= c.window && c.convergedAt < 0 {
+			c.convergedAt = c.steps
+		}
+	}
+	c.prev = v
+	c.havePrev = true
+	return c.convergedAt >= 0
+}
+
+// Converged reports whether the stability window has been satisfied.
+func (c *ConvergenceDetector) Converged() bool { return c.convergedAt >= 0 }
+
+// ConvergedAt returns the 1-based observation index at which convergence was
+// first declared, or -1 if not converged.
+func (c *ConvergenceDetector) ConvergedAt() int { return c.convergedAt }
+
+// Reset clears all detector state.
+func (c *ConvergenceDetector) Reset() {
+	c.havePrev = false
+	c.stable = 0
+	c.steps = 0
+	c.convergedAt = -1
+}

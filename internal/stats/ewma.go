@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// EWMA is an exponentially-weighted moving average. The paper's online model
+// error correction (Section 6.3) smooths the additive latency error with
+// exponential smoothing; this type implements that smoother.
+type EWMA struct {
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns a smoother with the given smoothing factor alpha in (0,1].
+// Larger alpha weights recent observations more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("stats: EWMA alpha must be in (0,1], got %v", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds one observation into the average. The first observation
+// initializes the average directly.
+func (e *EWMA) Add(v float64) {
+	if !e.seen {
+		e.value = v
+		e.seen = true
+		return
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+}
+
+// Value returns the current smoothed value, or NaN before any observation.
+func (e *EWMA) Value() float64 {
+	if !e.seen {
+		return math.NaN()
+	}
+	return e.value
+}
+
+// Initialized reports whether at least one observation has been added.
+func (e *EWMA) Initialized() bool { return e.seen }
+
+// Reset forgets all history.
+func (e *EWMA) Reset() { e.seen = false; e.value = 0 }
+
+// Summary holds basic aggregate statistics over a set of observations.
+type Summary struct {
+	Count int
+	Min   float64
+	Max   float64
+	Mean  float64
+	// M2 is the running sum of squared deviations (Welford), from which
+	// Variance and Stddev are derived.
+	m2 float64
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add folds one observation into the summary using Welford's algorithm.
+func (s *Summary) Add(v float64) {
+	s.Count++
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+	delta := v - s.Mean
+	s.Mean += delta / float64(s.Count)
+	s.m2 += delta * (v - s.Mean)
+}
+
+// Variance returns the population variance of the observations, or NaN when
+// empty.
+func (s *Summary) Variance() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.Count)
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }

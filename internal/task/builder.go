@@ -1,0 +1,89 @@
+package task
+
+import "fmt"
+
+// Builder constructs tasks fluently by subtask name, deferring index
+// bookkeeping and error handling to a final Build call. It is the
+// recommended construction path for application code:
+//
+//	t, err := task.NewBuilder("ingest", 45).
+//		Trigger(task.Periodic(100)).
+//		Subtask("parse", "cpu-0", 2).
+//		Subtask("route", "net-0", 3).
+//		Edge("parse", "route").
+//		Build()
+type Builder struct {
+	t    *Task
+	errs []error
+	idx  map[string]int
+}
+
+// NewBuilder starts building a task with the given name and critical time in
+// milliseconds.
+func NewBuilder(name string, criticalMs float64) *Builder {
+	return &Builder{t: New(name, criticalMs), idx: make(map[string]int)}
+}
+
+// Trigger sets the task's triggering-event specification.
+func (b *Builder) Trigger(tr Trigger) *Builder {
+	b.t.Trigger = tr
+	return b
+}
+
+// Subtask adds a subtask consuming the given resource with the given WCET.
+func (b *Builder) Subtask(name, resource string, execMs float64) *Builder {
+	return b.SubtaskOpts(Subtask{Name: name, Resource: resource, ExecMs: execMs})
+}
+
+// SubtaskOpts adds a fully-specified subtask.
+func (b *Builder) SubtaskOpts(s Subtask) *Builder {
+	if _, dup := b.idx[s.Name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate subtask %q", s.Name))
+		return b
+	}
+	b.idx[s.Name] = b.t.AddSubtask(s)
+	return b
+}
+
+// Edge records a precedence edge between two named subtasks.
+func (b *Builder) Edge(from, to string) *Builder {
+	fi, ok1 := b.idx[from]
+	ti, ok2 := b.idx[to]
+	if !ok1 || !ok2 {
+		b.errs = append(b.errs, fmt.Errorf("edge (%q,%q): unknown subtask", from, to))
+		return b
+	}
+	if err := b.t.AddEdge(fi, ti); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Chain adds precedence edges along the given sequence of subtask names.
+func (b *Builder) Chain(names ...string) *Builder {
+	for i := 0; i+1 < len(names); i++ {
+		b.Edge(names[i], names[i+1])
+	}
+	return b
+}
+
+// Build validates and returns the task. The builder must not be reused after
+// Build.
+func (b *Builder) Build() (*Task, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("task %s: %d build error(s), first: %w", b.t.Name, len(b.errs), b.errs[0])
+	}
+	if err := b.t.Validate(); err != nil {
+		return nil, err
+	}
+	return b.t, nil
+}
+
+// MustBuild is Build that panics on error; for static workload definitions.
+func (b *Builder) MustBuild() *Task {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

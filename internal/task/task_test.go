@@ -1,0 +1,419 @@
+package task
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the DAG a -> {b, c} -> d used across tests.
+func diamond(t *testing.T) *Task {
+	t.Helper()
+	tk, err := NewBuilder("diamond", 100).
+		Trigger(Periodic(50)).
+		Subtask("a", "r0", 1).
+		Subtask("b", "r1", 2).
+		Subtask("c", "r2", 3).
+		Subtask("d", "r3", 4).
+		Edge("a", "b").Edge("a", "c").Edge("b", "d").Edge("c", "d").
+		Build()
+	if err != nil {
+		t.Fatalf("build diamond: %v", err)
+	}
+	return tk
+}
+
+func TestRootAndLeaves(t *testing.T) {
+	tk := diamond(t)
+	root, err := tk.Root()
+	if err != nil || root != 0 {
+		t.Fatalf("Root = %d, %v; want 0, nil", root, err)
+	}
+	leaves := tk.Leaves()
+	if len(leaves) != 1 || leaves[0] != 3 {
+		t.Fatalf("Leaves = %v, want [3]", leaves)
+	}
+}
+
+func TestPathsDiamond(t *testing.T) {
+	tk := diamond(t)
+	paths, err := tk.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2 paths", paths)
+	}
+	for _, p := range paths {
+		if p[0] != 0 || p[len(p)-1] != 3 || len(p) != 3 {
+			t.Errorf("unexpected path %v", p)
+		}
+	}
+}
+
+func TestPathsCached(t *testing.T) {
+	tk := diamond(t)
+	p1, _ := tk.Paths()
+	p2, _ := tk.Paths()
+	if &p1[0] != &p2[0] {
+		t.Error("Paths should be cached between calls")
+	}
+	tk.AddSubtask(Subtask{Name: "e", Resource: "r4", ExecMs: 1})
+	tk.MustEdge(3, 4)
+	p3, _ := tk.Paths()
+	if len(p3[0]) == len(p1[0]) {
+		t.Error("mutation should invalidate the path cache")
+	}
+}
+
+func TestPathCountAndWeights(t *testing.T) {
+	tk := diamond(t)
+	counts, err := tk.PathCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 1, 2}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("count[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+
+	wsum, _ := tk.Weights(WeightSum)
+	for i, w := range wsum {
+		if w != 1 {
+			t.Errorf("sum weight[%d] = %v, want 1", i, w)
+		}
+	}
+	wnorm, _ := tk.Weights(WeightPathNormalized)
+	wantNorm := []float64{1, 0.5, 0.5, 1}
+	for i, w := range wnorm {
+		if math.Abs(w-wantNorm[i]) > 1e-12 {
+			t.Errorf("normalized weight[%d] = %v, want %v", i, w, wantNorm[i])
+		}
+	}
+	wraw, _ := tk.Weights(WeightPathRaw)
+	for i := range wraw {
+		if math.Abs(wraw[i]-float64(want[i])) > 1e-12 {
+			t.Errorf("raw weight[%d] = %v, want %v", i, wraw[i], want[i])
+		}
+	}
+	if _, err := tk.Weights(WeightMode(99)); err == nil {
+		t.Error("unknown weight mode should error")
+	}
+}
+
+// Property: the normalized weighted latency sum equals the mean path latency
+// for arbitrary latency vectors.
+func TestNormalizedWeightsGiveMeanPathLatency(t *testing.T) {
+	tk := diamond(t)
+	weights, _ := tk.Weights(WeightPathNormalized)
+	paths, _ := tk.Paths()
+	f := func(a, b, c, d uint16) bool {
+		lats := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1, float64(d) + 1}
+		got, err := WeightedLatencyMs(weights, lats)
+		if err != nil {
+			return false
+		}
+		mean := 0.0
+		for _, p := range paths {
+			sum := 0.0
+			for _, s := range p {
+				sum += lats[s]
+			}
+			mean += sum
+		}
+		mean /= float64(len(paths))
+		return math.Abs(got-mean) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	tk := diamond(t)
+	lat := []float64{1, 10, 2, 5}
+	cp, idx, err := tk.CriticalPathMs(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cp-16) > 1e-12 {
+		t.Errorf("critical path = %v, want 16 (a-b-d)", cp)
+	}
+	paths, _ := tk.Paths()
+	sum := 0.0
+	for _, s := range paths[idx] {
+		sum += lat[s]
+	}
+	if sum != cp {
+		t.Errorf("returned index %d does not identify the critical path", idx)
+	}
+	if _, _, err := tk.CriticalPathMs([]float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	tk := New("cyclic", 10)
+	tk.AddSubtask(Subtask{Name: "a", Resource: "r", ExecMs: 1})
+	tk.AddSubtask(Subtask{Name: "b", Resource: "r", ExecMs: 1})
+	tk.MustEdge(0, 1)
+	tk.MustEdge(1, 0)
+	if err := tk.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Validate = %v, want cycle error", err)
+	}
+}
+
+func TestValidateCatchesMultipleRoots(t *testing.T) {
+	tk := New("two-roots", 10)
+	tk.AddSubtask(Subtask{Name: "a", Resource: "r", ExecMs: 1})
+	tk.AddSubtask(Subtask{Name: "b", Resource: "r", ExecMs: 1})
+	if err := tk.Validate(); err == nil || !strings.Contains(err.Error(), "multiple roots") {
+		t.Fatalf("Validate = %v, want multiple-roots error", err)
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Task)
+		want string
+	}{
+		{"no subtasks", func(tk *Task) { tk.Subtasks = nil; tk.succ = nil; tk.pred = nil }, "no subtasks"},
+		{"bad critical", func(tk *Task) { tk.CriticalMs = 0 }, "critical time"},
+		{"bad wcet", func(tk *Task) { tk.Subtasks[0].ExecMs = -1 }, "WCET"},
+		{"no resource", func(tk *Task) { tk.Subtasks[0].Resource = "" }, "no resource"},
+		{"bad minshare", func(tk *Task) { tk.Subtasks[0].MinShare = 1.5 }, "MinShare"},
+		{"empty name", func(tk *Task) { tk.Subtasks[0].Name = "" }, "empty name"},
+		{"dup name", func(tk *Task) { tk.Subtasks[1].Name = "a" }, "duplicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tk := New("x", 10)
+			tk.AddSubtask(Subtask{Name: "a", Resource: "r", ExecMs: 1})
+			tk.AddSubtask(Subtask{Name: "b", Resource: "r", ExecMs: 1})
+			tk.MustEdge(0, 1)
+			c.mut(tk)
+			err := tk.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	tk := New("e", 10)
+	tk.AddSubtask(Subtask{Name: "a", Resource: "r", ExecMs: 1})
+	if err := tk.AddEdge(0, 0); err == nil {
+		t.Error("self edge should fail")
+	}
+	if err := tk.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+	tk.AddSubtask(Subtask{Name: "b", Resource: "r", ExecMs: 1})
+	if err := tk.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+}
+
+func TestTopoSortOrder(t *testing.T) {
+	tk := diamond(t)
+	order, err := tk.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range tk.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topological order %v", e, order)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tk := diamond(t)
+	c := tk.Clone()
+	c.Subtasks[0].ExecMs = 99
+	c.MustEdge(1, 2)
+	if tk.Subtasks[0].ExecMs == 99 {
+		t.Error("Clone shares subtask storage")
+	}
+	if len(tk.Successors(1)) == len(c.Successors(1)) {
+		t.Error("Clone shares edge storage")
+	}
+}
+
+func TestSubtaskIndexByName(t *testing.T) {
+	tk := diamond(t)
+	if i := tk.SubtaskIndexByName("c"); i != 2 {
+		t.Errorf("index of c = %d, want 2", i)
+	}
+	if i := tk.SubtaskIndexByName("nope"); i != -1 {
+		t.Errorf("index of missing = %d, want -1", i)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("x", 10).Subtask("a", "r", 1).Subtask("a", "r", 1).Build(); err == nil {
+		t.Error("duplicate subtask should fail build")
+	}
+	if _, err := NewBuilder("x", 10).Subtask("a", "r", 1).Edge("a", "zz").Build(); err == nil {
+		t.Error("unknown edge endpoint should fail build")
+	}
+}
+
+func TestBuilderChain(t *testing.T) {
+	tk, err := NewBuilder("chain", 10).
+		Subtask("a", "r", 1).Subtask("b", "r", 1).Subtask("c", "r", 1).
+		Chain("a", "b", "c").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := tk.Paths()
+	if len(paths) != 1 || len(paths[0]) != 3 {
+		t.Fatalf("chain paths = %v", paths)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("x", -1).Subtask("a", "r", 1).MustBuild()
+}
+
+// randomDAGTask builds a random layered DAG and checks structural
+// invariants: Σ_p |p| == Σ_s pathcount(s), normalized weights of the root
+// equal 1, and every path starts at the root and ends at a leaf.
+func TestRandomDAGPathInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		layers := 2 + rng.Intn(4)
+		tk := New("rand"+strconv.Itoa(trial), 1000)
+		var prev []int
+		id := 0
+		for l := 0; l < layers; l++ {
+			width := 1
+			if l > 0 {
+				width = 1 + rng.Intn(3)
+			}
+			var cur []int
+			for k := 0; k < width; k++ {
+				idx := tk.AddSubtask(Subtask{Name: "s" + strconv.Itoa(id), Resource: "r", ExecMs: 1})
+				id++
+				cur = append(cur, idx)
+				if l > 0 {
+					// Connect to at least one node of the previous layer.
+					tk.MustEdge(prev[rng.Intn(len(prev))], idx)
+					for _, p := range prev {
+						if rng.Float64() < 0.3 {
+							_ = tk.AddEdge(p, idx) // duplicates rejected, fine
+						}
+					}
+				}
+			}
+			prev = cur
+		}
+		if err := tk.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		paths, err := tk.Paths()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		counts, _ := tk.PathCount()
+		sumLens, sumCounts := 0, 0
+		for _, p := range paths {
+			sumLens += len(p)
+		}
+		for _, c := range counts {
+			sumCounts += c
+		}
+		if sumLens != sumCounts {
+			t.Fatalf("trial %d: Σ|p|=%d != Σcounts=%d", trial, sumLens, sumCounts)
+		}
+		root, _ := tk.Root()
+		w, _ := tk.Weights(WeightPathNormalized)
+		if math.Abs(w[root]-1) > 1e-12 {
+			t.Fatalf("trial %d: root weight = %v, want 1", trial, w[root])
+		}
+		for _, p := range paths {
+			if p[0] != root {
+				t.Fatalf("trial %d: path %v does not start at root", trial, p)
+			}
+			if len(tk.Successors(p[len(p)-1])) != 0 {
+				t.Fatalf("trial %d: path %v does not end at a leaf", trial, p)
+			}
+		}
+	}
+}
+
+func TestTriggerRateAndValidation(t *testing.T) {
+	if r := Periodic(100).RateHz(); math.Abs(r-10) > 1e-12 {
+		t.Errorf("periodic rate = %v, want 10", r)
+	}
+	if r := Poisson(50).RateHz(); math.Abs(r-20) > 1e-12 {
+		t.Errorf("poisson rate = %v, want 20", r)
+	}
+	b := Bursty(10, 100, 300)
+	if r := b.RateHz(); math.Abs(r-25) > 1e-12 {
+		t.Errorf("bursty rate = %v, want 25", r)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("bursty validate: %v", err)
+	}
+	if err := (Trigger{Kind: TriggerPeriodic, PeriodMs: 0}).Validate(); err == nil {
+		t.Error("zero period should fail")
+	}
+	if err := (Trigger{Kind: TriggerKind(42)}).Validate(); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := (Trigger{}).Validate(); err != nil {
+		t.Errorf("zero trigger should validate, got %v", err)
+	}
+	if got := (Trigger{}).RateHz(); got != 0 {
+		t.Errorf("zero trigger rate = %v, want 0", got)
+	}
+}
+
+func TestWeightModeString(t *testing.T) {
+	cases := map[WeightMode]string{
+		WeightSum:            "sum",
+		WeightPathNormalized: "path-weighted",
+		WeightPathRaw:        "path-weighted-raw",
+		WeightMode(9):        "WeightMode(9)",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestTriggerKindString(t *testing.T) {
+	cases := map[TriggerKind]string{
+		TriggerPeriodic: "periodic",
+		TriggerPoisson:  "poisson",
+		TriggerBursty:   "bursty",
+		TriggerKind(77): "TriggerKind(77)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

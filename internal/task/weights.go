@@ -1,0 +1,83 @@
+package task
+
+import "fmt"
+
+// WeightMode selects how subtask weights are derived from the subtask graph
+// for the utility-variant formulations of Section 3.2.
+type WeightMode int
+
+const (
+	// WeightSum gives every subtask weight 1: the task utility becomes a
+	// function of the plain sum of subtask latencies (the paper's "sum"
+	// variant).
+	WeightSum WeightMode = iota + 1
+	// WeightPathNormalized weights each subtask by the fraction of
+	// root-to-leaf paths that traverse it. The weighted latency sum then
+	// equals the mean path latency. This is the paper's "path-weighted"
+	// variant with the proportionality constant fixed by normalization; the
+	// KKT analysis of Table 1 (see DESIGN.md) shows this is the variant the
+	// published numbers correspond to.
+	WeightPathNormalized
+	// WeightPathRaw weights each subtask by the absolute number of paths
+	// through it (unnormalized); provided for ablation.
+	WeightPathRaw
+)
+
+// String implements fmt.Stringer.
+func (m WeightMode) String() string {
+	switch m {
+	case WeightSum:
+		return "sum"
+	case WeightPathNormalized:
+		return "path-weighted"
+	case WeightPathRaw:
+		return "path-weighted-raw"
+	default:
+		return fmt.Sprintf("WeightMode(%d)", int(m))
+	}
+}
+
+// Weights computes the per-subtask weights for the given mode.
+func (t *Task) Weights(mode WeightMode) ([]float64, error) {
+	n := len(t.Subtasks)
+	w := make([]float64, n)
+	switch mode {
+	case WeightSum:
+		for i := range w {
+			w[i] = 1
+		}
+		return w, nil
+	case WeightPathNormalized, WeightPathRaw:
+		counts, err := t.PathCount()
+		if err != nil {
+			return nil, err
+		}
+		paths, err := t.Paths()
+		if err != nil {
+			return nil, err
+		}
+		norm := 1.0
+		if mode == WeightPathNormalized {
+			norm = float64(len(paths))
+		}
+		for i, c := range counts {
+			w[i] = float64(c) / norm
+		}
+		return w, nil
+	default:
+		return nil, fmt.Errorf("task %s: unknown weight mode %d", t.Name, int(mode))
+	}
+}
+
+// WeightedLatencyMs returns the weighted sum of subtask latencies under the
+// given weights.
+func WeightedLatencyMs(weights, latMs []float64) (float64, error) {
+	if len(weights) != len(latMs) {
+		return 0, fmt.Errorf("task: weight/latency length mismatch %d != %d", len(weights), len(latMs))
+	}
+	sum := 0.0
+	for i, w := range weights {
+		sum += w * latMs[i]
+	}
+	return sum, nil
+}

@@ -1,0 +1,38 @@
+package transport
+
+import "testing"
+
+func BenchmarkInprocRoundTrip(b *testing.B) {
+	n := NewInproc(InprocConfig{QueueLen: 4})
+	a, err := n.Endpoint("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	c, err := n.Endpoint("b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := map[string]float64{"mu": 1.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send("b", "price", payload); err != nil {
+			b.Fatal(err)
+		}
+		<-c.Recv()
+	}
+}
+
+func BenchmarkFrameCodec(b *testing.B) {
+	msg, err := encode("a", "b", "latency", map[string]float64{"s1": 9.74, "s2": 13.82})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeFrame(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// InprocConfig tunes the in-process network's fault injection.
+type InprocConfig struct {
+	// DelayMs delivers every message after a fixed delay (0 = immediate,
+	// synchronous ordering per sender-receiver pair).
+	DelayMs float64
+	// DropRate in [0,1) silently drops messages at random (seeded).
+	DropRate float64
+	// Seed drives the drop decisions.
+	Seed int64
+	// QueueLen is the per-endpoint inbox capacity (default 1024).
+	QueueLen int
+	// RegistrationWait makes Send retry for up to this duration when the
+	// destination endpoint is not registered yet, mirroring the TCP
+	// transport's dial-retry so that independently started nodes can come
+	// up in any order. Zero fails unknown destinations immediately.
+	RegistrationWait time.Duration
+}
+
+// Inproc is a channel-based Network for tests and single-process runs.
+type Inproc struct {
+	cfg InprocConfig
+
+	mu        sync.Mutex
+	endpoints map[string]*inprocEndpoint
+	rng       *rand.Rand
+	wg        sync.WaitGroup
+}
+
+var _ Network = (*Inproc)(nil)
+
+// NewInproc returns an in-process network.
+func NewInproc(cfg InprocConfig) *Inproc {
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 1024
+	}
+	return &Inproc{
+		cfg:       cfg,
+		endpoints: make(map[string]*inprocEndpoint),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Endpoint implements Network.
+func (n *Inproc) Endpoint(addr string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("transport: empty address")
+	}
+	if _, dup := n.endpoints[addr]; dup {
+		return nil, fmt.Errorf("transport: endpoint %q already registered", addr)
+	}
+	ep := &inprocEndpoint{
+		net:  n,
+		addr: addr,
+		in:   make(chan Message, n.cfg.QueueLen),
+	}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Wait blocks until all in-flight delayed deliveries have settled.
+func (n *Inproc) Wait() { n.wg.Wait() }
+
+// deliver routes a message, applying loss and delay.
+func (n *Inproc) deliver(msg Message) error {
+	n.mu.Lock()
+	dst, ok := n.endpoints[msg.To]
+	var drop bool
+	if n.cfg.DropRate > 0 {
+		drop = n.rng.Float64() < n.cfg.DropRate
+	}
+	n.mu.Unlock()
+	if !ok && n.cfg.RegistrationWait > 0 {
+		// The destination may simply not have started yet.
+		deadline := time.Now().Add(n.cfg.RegistrationWait)
+		for !ok && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+			n.mu.Lock()
+			dst, ok = n.endpoints[msg.To]
+			n.mu.Unlock()
+		}
+	}
+	if !ok {
+		return fmt.Errorf("transport: no endpoint %q", msg.To)
+	}
+	if drop {
+		return nil // injected loss: silently dropped
+	}
+	if n.cfg.DelayMs > 0 {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			time.Sleep(time.Duration(n.cfg.DelayMs * float64(time.Millisecond)))
+			dst.push(msg)
+		}()
+		return nil
+	}
+	dst.push(msg)
+	return nil
+}
+
+// inprocEndpoint is one party on an Inproc network.
+type inprocEndpoint struct {
+	net  *Inproc
+	addr string
+	in   chan Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Endpoint = (*inprocEndpoint)(nil)
+
+// Addr implements Endpoint.
+func (e *inprocEndpoint) Addr() string { return e.addr }
+
+// Send implements Endpoint.
+func (e *inprocEndpoint) Send(to, kind string, payload any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: endpoint %q closed", e.addr)
+	}
+	msg, err := encode(e.addr, to, kind, payload)
+	if err != nil {
+		return err
+	}
+	return e.net.deliver(msg)
+}
+
+// Recv implements Endpoint.
+func (e *inprocEndpoint) Recv() <-chan Message { return e.in }
+
+// push enqueues an inbound message, dropping it if the endpoint has closed.
+func (e *inprocEndpoint) push(msg Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	// Block-free: a full inbox drops the oldest semantics would complicate
+	// reasoning; the inbox is sized for the runtime's round-based protocol,
+	// so blocking here indicates a protocol bug. Fail loudly instead.
+	select {
+	case e.in <- msg:
+	default:
+		panic(fmt.Sprintf("transport: inbox overflow at %q (protocol bug or undersized queue)", e.addr))
+	}
+}
+
+// Close implements Endpoint.
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	close(e.in)
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	return nil
+}

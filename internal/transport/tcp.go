@@ -1,0 +1,309 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrameBytes bounds a frame so a corrupt length prefix cannot trigger a
+// huge allocation.
+const maxFrameBytes = 16 << 20
+
+// TCP is a Network whose endpoints listen on TCP sockets and exchange
+// length-prefixed JSON frames. Endpoint addresses are logical names mapped
+// to host:port pairs through a static registry (in a real deployment this
+// would be service discovery; a static table keeps the reproduction
+// self-contained).
+type TCP struct {
+	mu sync.Mutex
+	// registry maps logical address -> host:port.
+	registry map[string]string
+	// dialTimeout bounds a single connection attempt.
+	dialTimeout time.Duration
+	// DialRetryWindow keeps retrying refused dials for this long, so nodes
+	// of a deployment can start in any order. Zero disables retrying.
+	DialRetryWindow time.Duration
+}
+
+var _ Network = (*TCP)(nil)
+
+// NewTCP returns a TCP network with the given logical-name registry.
+// Entries may also be added later with Register (e.g. after kernel-assigned
+// ports are known).
+func NewTCP(registry map[string]string) *TCP {
+	r := make(map[string]string, len(registry))
+	for k, v := range registry {
+		r[k] = v
+	}
+	return &TCP{registry: r, dialTimeout: 5 * time.Second, DialRetryWindow: 15 * time.Second}
+}
+
+// Register maps a logical address to a host:port.
+func (t *TCP) Register(addr, hostport string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.registry[addr] = hostport
+}
+
+// lookup resolves a logical address.
+func (t *TCP) lookup(addr string) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hp, ok := t.registry[addr]
+	if !ok {
+		return "", fmt.Errorf("transport: address %q not in registry", addr)
+	}
+	return hp, nil
+}
+
+// Endpoint implements Network: it binds a listener on the registered
+// host:port (a ":0" port is rebound into the registry after binding).
+func (t *TCP) Endpoint(addr string) (Endpoint, error) {
+	hp, err := t.lookup(addr)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", hp)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening for %q on %s: %w", addr, hp, err)
+	}
+	t.Register(addr, ln.Addr().String())
+	ep := &tcpEndpoint{
+		net:     t,
+		addr:    addr,
+		ln:      ln,
+		in:      make(chan Message, 1024),
+		conns:   make(map[string]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// tcpEndpoint is one listener plus a cache of outbound connections.
+type tcpEndpoint struct {
+	net  *TCP
+	addr string
+	ln   net.Listener
+	in   chan Message
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu sync.Mutex
+	// conns caches outbound connections by destination name; inbound holds
+	// accepted connections so Close can unblock their readers.
+	conns   map[string]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+// Addr implements Endpoint.
+func (e *tcpEndpoint) Addr() string { return e.addr }
+
+// acceptLoop accepts inbound connections and spawns a reader per connection.
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.inbound[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one connection into the inbox.
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+	}()
+	for {
+		msg, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case e.in <- msg:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Send implements Endpoint. Connections are cached per destination and
+// re-dialed once on a write failure (the peer may have restarted).
+func (e *tcpEndpoint) Send(to, kind string, payload any) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("transport: endpoint %q closed", e.addr)
+	}
+	e.mu.Unlock()
+
+	msg, err := encode(e.addr, to, kind, payload)
+	if err != nil {
+		return err
+	}
+	frame, err := encodeFrame(msg)
+	if err != nil {
+		return err
+	}
+	if err := e.write(to, frame); err != nil {
+		// One reconnect attempt.
+		e.dropConn(to)
+		return e.write(to, frame)
+	}
+	return nil
+}
+
+// write sends a frame over the cached (or freshly dialed) connection.
+func (e *tcpEndpoint) write(to string, frame []byte) error {
+	conn, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err = conn.Write(frame)
+	return err
+}
+
+// conn returns the cached connection to the destination, dialing if needed.
+func (e *tcpEndpoint) conn(to string) (net.Conn, error) {
+	e.mu.Lock()
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	hp, err := e.net.lookup(to)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.DialTimeout("tcp", hp, e.net.dialTimeout)
+	// Retry refused dials within the window: the peer process may simply
+	// not have bound its listener yet (deployments start in any order).
+	deadline := time.Now().Add(e.net.DialRetryWindow)
+	for err != nil && time.Now().Before(deadline) {
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+		c, err = net.DialTimeout("tcp", hp, e.net.dialTimeout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %q (%s): %w", to, hp, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return nil, fmt.Errorf("transport: endpoint %q closed", e.addr)
+	}
+	if prev, ok := e.conns[to]; ok {
+		// Lost a dial race; keep the first connection.
+		c.Close()
+		return prev, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+// dropConn evicts a broken cached connection.
+func (e *tcpEndpoint) dropConn(to string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		c.Close()
+		delete(e.conns, to)
+	}
+}
+
+// Recv implements Endpoint.
+func (e *tcpEndpoint) Recv() <-chan Message { return e.in }
+
+// Close implements Endpoint.
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, c := range e.conns {
+		c.Close()
+	}
+	for c := range e.inbound {
+		c.Close()
+	}
+	e.mu.Unlock()
+
+	close(e.done)
+	err := e.ln.Close()
+	e.wg.Wait()
+	close(e.in)
+	return err
+}
+
+// encodeFrame renders a message as a length-prefixed JSON frame.
+func encodeFrame(msg Message) ([]byte, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encoding frame: %w", err)
+	}
+	if len(body) > maxFrameBytes {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(body))
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+// readFrame reads one length-prefixed JSON frame.
+func readFrame(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrameBytes {
+		return Message{}, errors.New("transport: invalid frame length")
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, err
+	}
+	var msg Message
+	if err := json.Unmarshal(body, &msg); err != nil {
+		return Message{}, fmt.Errorf("transport: decoding frame: %w", err)
+	}
+	return msg, nil
+}

@@ -1,0 +1,62 @@
+// Package transport provides the messaging substrate for the distributed
+// LLA runtime: named endpoints exchanging small JSON messages. Two
+// implementations are provided — an in-process channel network (with
+// optional delivery delay and loss injection for robustness tests) and a
+// TCP network with length-prefixed JSON frames for genuinely distributed
+// deployments (cmd/lla-node).
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Message is a routed envelope. Payload is JSON so that both network
+// implementations behave identically.
+type Message struct {
+	// From and To are endpoint addresses (logical names).
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Kind discriminates payload types for the receiver.
+	Kind string `json:"kind"`
+	// Payload is the JSON-encoded body.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Decode unmarshals the payload into out.
+func (m Message) Decode(out any) error {
+	if err := json.Unmarshal(m.Payload, out); err != nil {
+		return fmt.Errorf("transport: decoding %s payload: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// Endpoint is one named party on a network.
+type Endpoint interface {
+	// Addr returns the endpoint's address.
+	Addr() string
+	// Send delivers a message to the named endpoint. Payload is marshaled
+	// to JSON. Send must not block indefinitely.
+	Send(to, kind string, payload any) error
+	// Recv returns the channel of inbound messages. It is closed when the
+	// endpoint is closed.
+	Recv() <-chan Message
+	// Close releases the endpoint; subsequent Sends fail.
+	Close() error
+}
+
+// Network creates endpoints.
+type Network interface {
+	// Endpoint registers (or returns an error for a duplicate) the named
+	// endpoint.
+	Endpoint(addr string) (Endpoint, error)
+}
+
+// encode marshals a payload once, shared by the implementations.
+func encode(from, to, kind string, payload any) (Message, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: encoding %s payload: %w", kind, err)
+	}
+	return Message{From: from, To: to, Kind: kind, Payload: raw}, nil
+}

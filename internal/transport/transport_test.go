@@ -1,0 +1,313 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+type ping struct {
+	N int `json:"n"`
+}
+
+func recvOne(t *testing.T, ep Endpoint) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+	panic("unreachable")
+}
+
+func testRoundTrip(t *testing.T, n Network) {
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send("b", "ping", ping{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if m.From != "a" || m.To != "b" || m.Kind != "ping" {
+		t.Fatalf("envelope = %+v", m)
+	}
+	var p ping
+	if err := m.Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 7 {
+		t.Fatalf("payload = %+v", p)
+	}
+
+	// Reply path.
+	if err := b.Send("a", "pong", ping{N: 8}); err != nil {
+		t.Fatal(err)
+	}
+	m = recvOne(t, a)
+	if m.Kind != "pong" {
+		t.Fatalf("reply = %+v", m)
+	}
+}
+
+func TestInprocRoundTrip(t *testing.T) {
+	testRoundTrip(t, NewInproc(InprocConfig{}))
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	testRoundTrip(t, NewTCP(map[string]string{
+		"a": "127.0.0.1:0",
+		"b": "127.0.0.1:0",
+	}))
+}
+
+func TestInprocOrderingPerPair(t *testing.T) {
+	n := NewInproc(InprocConfig{})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.Send("b", "seq", ping{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		var p ping
+		if err := recvOne(t, b).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p.N != i {
+			t.Fatalf("out of order: got %d, want %d", p.N, i)
+		}
+	}
+}
+
+func TestInprocDuplicateAddress(t *testing.T) {
+	n := NewInproc(InprocConfig{})
+	if _, err := n.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint("a"); err == nil {
+		t.Fatal("duplicate address should fail")
+	}
+	if _, err := n.Endpoint(""); err == nil {
+		t.Fatal("empty address should fail")
+	}
+}
+
+func TestInprocUnknownDestination(t *testing.T) {
+	n := NewInproc(InprocConfig{})
+	a, _ := n.Endpoint("a")
+	defer a.Close()
+	if err := a.Send("ghost", "ping", ping{}); err == nil {
+		t.Fatal("send to unknown endpoint should fail")
+	}
+}
+
+func TestInprocDropInjection(t *testing.T) {
+	n := NewInproc(InprocConfig{DropRate: 0.5, Seed: 1})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	for i := 0; i < 200; i++ {
+		if err := a.Send("b", "x", ping{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	b.Close() // closes the channel so we can drain it
+	for range b.Recv() {
+		got++
+	}
+	if got < 50 || got > 150 {
+		t.Fatalf("received %d of 200 at 50%% drop, want ≈100", got)
+	}
+}
+
+func TestInprocDelayedDelivery(t *testing.T) {
+	n := NewInproc(InprocConfig{DelayMs: 5})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if err := a.Send("b", "x", ping{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~5ms", elapsed)
+	}
+	n.Wait()
+}
+
+func TestInprocSendAfterClose(t *testing.T) {
+	n := NewInproc(InprocConfig{})
+	a, _ := n.Endpoint("a")
+	a.Close()
+	if err := a.Send("a", "x", ping{}); err == nil {
+		t.Fatal("send after close should fail")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close should be fine")
+	}
+}
+
+func TestTCPUnknownDestination(t *testing.T) {
+	n := NewTCP(map[string]string{"a": "127.0.0.1:0"})
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("ghost", "x", ping{}); err == nil {
+		t.Fatal("send to unregistered name should fail")
+	}
+}
+
+func TestTCPManyMessagesBothDirections(t *testing.T) {
+	n := NewTCP(map[string]string{
+		"a": "127.0.0.1:0",
+		"b": "127.0.0.1:0",
+	})
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const total = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := a.Send("b", "x", ping{N: i}); err != nil {
+				t.Errorf("a->b: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := b.Send("a", "y", ping{N: i}); err != nil {
+				t.Errorf("b->a: %v", err)
+				return
+			}
+		}
+	}()
+	gotA, gotB := 0, 0
+	deadline := time.After(10 * time.Second)
+	for gotA < total || gotB < total {
+		select {
+		case <-a.Recv():
+			gotA++
+		case <-b.Recv():
+			gotB++
+		case <-deadline:
+			t.Fatalf("timeout: a=%d b=%d of %d", gotA, gotB, total)
+		}
+	}
+	wg.Wait()
+}
+
+func TestTCPEndpointRequiresRegistryEntry(t *testing.T) {
+	n := NewTCP(nil)
+	if _, err := n.Endpoint("a"); err == nil {
+		t.Fatal("unregistered endpoint should fail")
+	}
+	n.Register("a", "127.0.0.1:0")
+	ep, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	n := NewTCP(map[string]string{"a": "127.0.0.1:0", "b": "127.0.0.1:0"})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer b.Close()
+	a.Close()
+	if err := a.Send("b", "x", ping{}); err == nil {
+		t.Fatal("send after close should fail")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close should be fine")
+	}
+}
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	msg, err := encode("a", "b", "kind", ping{N: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := encodeFrame(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != "kind" || back.From != "a" {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Zero length.
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero-length frame should fail")
+	}
+	// Absurd length.
+	if _, err := readFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Error("oversized frame should fail")
+	}
+	// Truncated body.
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 10, 'x'})); err == nil {
+		t.Error("truncated frame should fail")
+	}
+	// Invalid JSON body.
+	frame := []byte{0, 0, 0, 3, 'x', 'y', 'z'}
+	if _, err := readFrame(bytes.NewReader(frame)); err == nil {
+		t.Error("non-JSON frame should fail")
+	}
+}
+
+func TestEncodeUnserializablePayload(t *testing.T) {
+	n := NewInproc(InprocConfig{})
+	a, _ := n.Endpoint("a")
+	defer a.Close()
+	if err := a.Send("a", "x", func() {}); err == nil {
+		t.Fatal("unserializable payload should fail")
+	}
+}
+
+func TestMessageDecodeError(t *testing.T) {
+	m := Message{Kind: "x", Payload: []byte(`{"n": "notanint"}`)}
+	var p ping
+	if err := m.Decode(&p); err == nil {
+		t.Fatal("type mismatch should fail")
+	}
+}

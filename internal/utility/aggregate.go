@@ -1,0 +1,59 @@
+package utility
+
+import (
+	"fmt"
+
+	"lla/internal/task"
+)
+
+// TaskUtility evaluates a task's utility as curve(Σ_s w_s · lat_s), the
+// tractable surrogate the paper introduces in Section 3.2 to replace the
+// non-concave critical-path formulation of Equation 1. The weights are
+// derived from the subtask graph by a task.WeightMode.
+type TaskUtility struct {
+	curve   Curve
+	weights []float64
+	mode    task.WeightMode
+}
+
+// NewTaskUtility derives the weights for the given task and mode and binds
+// them to the curve.
+func NewTaskUtility(t *task.Task, mode task.WeightMode, curve Curve) (*TaskUtility, error) {
+	w, err := t.Weights(mode)
+	if err != nil {
+		return nil, fmt.Errorf("utility: deriving weights for task %s: %w", t.Name, err)
+	}
+	return &TaskUtility{curve: curve, weights: w, mode: mode}, nil
+}
+
+// Mode reports the weight mode the utility was built with.
+func (u *TaskUtility) Mode() task.WeightMode { return u.mode }
+
+// Curve returns the underlying latency-to-benefit curve.
+func (u *TaskUtility) Curve() Curve { return u.curve }
+
+// Weight returns the weight of subtask s.
+func (u *TaskUtility) Weight(s int) float64 { return u.weights[s] }
+
+// NumSubtasks returns the number of subtasks the utility covers.
+func (u *TaskUtility) NumSubtasks() int { return len(u.weights) }
+
+// Aggregate returns the weighted latency sum Σ_s w_s · lat_s.
+func (u *TaskUtility) Aggregate(latMs []float64) (float64, error) {
+	return task.WeightedLatencyMs(u.weights, latMs)
+}
+
+// Value returns the utility at the given subtask latencies.
+func (u *TaskUtility) Value(latMs []float64) (float64, error) {
+	agg, err := u.Aggregate(latMs)
+	if err != nil {
+		return 0, err
+	}
+	return u.curve.Value(agg), nil
+}
+
+// PartialSlope returns ∂U/∂lat_s = curve'(Σ w·lat) · w_s, the quantity the
+// task controller's stationarity condition (Equation 7) needs.
+func (u *TaskUtility) PartialSlope(s int, aggregateMs float64) float64 {
+	return u.curve.Slope(aggregateMs) * u.weights[s]
+}

@@ -1,0 +1,279 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lla/internal/task"
+)
+
+func TestLinearCurve(t *testing.T) {
+	c := Linear{K: 2, CMs: 45}
+	if got := c.Value(0); got != 90 {
+		t.Errorf("Value(0) = %v, want 90", got)
+	}
+	if got := c.Value(45); got != 45 {
+		t.Errorf("Value(45) = %v, want 45", got)
+	}
+	if got := c.Slope(10); got != -1 {
+		t.Errorf("Slope = %v, want -1", got)
+	}
+	if err := ValidateCurve(c, 100); err != nil {
+		t.Errorf("ValidateCurve: %v", err)
+	}
+}
+
+func TestNegLatency(t *testing.T) {
+	c := NegLatency{}
+	if c.Value(30) != -30 || c.Slope(5) != -1 {
+		t.Errorf("NegLatency misbehaves: Value(30)=%v Slope=%v", c.Value(30), c.Slope(5))
+	}
+	if err := ValidateCurve(c, 1000); err != nil {
+		t.Errorf("ValidateCurve: %v", err)
+	}
+}
+
+func TestQuadratic(t *testing.T) {
+	c := Quadratic{A: 100, B: 0.01}
+	if got := c.Value(10); math.Abs(got-99) > 1e-12 {
+		t.Errorf("Value(10) = %v, want 99", got)
+	}
+	if got := c.Slope(10); math.Abs(got-(-0.2)) > 1e-12 {
+		t.Errorf("Slope(10) = %v, want -0.2", got)
+	}
+	if err := ValidateCurve(c, 100); err != nil {
+		t.Errorf("ValidateCurve: %v", err)
+	}
+}
+
+func TestExpPenalty(t *testing.T) {
+	c := ExpPenalty{A: 10, B: 1, Tau: 20}
+	if got := c.Value(0); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Value(0) = %v, want 10", got)
+	}
+	if c.Slope(0) >= 0 || c.Slope(40) >= c.Slope(0) {
+		t.Errorf("ExpPenalty slopes not decreasing: %v, %v", c.Slope(0), c.Slope(40))
+	}
+	if err := ValidateCurve(c, 100); err != nil {
+		t.Errorf("ValidateCurve: %v", err)
+	}
+}
+
+func TestPiecewiseLinear(t *testing.T) {
+	// Concave: slopes -1 then -3.
+	c, err := NewPiecewiseLinear([]float64{0, 10, 20}, []float64{100, 90, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Value(5); math.Abs(got-95) > 1e-12 {
+		t.Errorf("Value(5) = %v, want 95", got)
+	}
+	if got := c.Value(15); math.Abs(got-75) > 1e-12 {
+		t.Errorf("Value(15) = %v, want 75", got)
+	}
+	if got := c.Slope(5); math.Abs(got-(-1)) > 1e-12 {
+		t.Errorf("Slope(5) = %v, want -1", got)
+	}
+	if got := c.Slope(15); math.Abs(got-(-3)) > 1e-12 {
+		t.Errorf("Slope(15) = %v, want -3", got)
+	}
+	// Extrapolation beyond the last knot uses the final slope.
+	if got := c.Value(30); math.Abs(got-30) > 1e-12 {
+		t.Errorf("Value(30) = %v, want 30", got)
+	}
+	if err := ValidateCurve(c, 30); err != nil {
+		t.Errorf("ValidateCurve: %v", err)
+	}
+}
+
+func TestPiecewiseLinearRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"length mismatch", []float64{0, 1}, []float64{1}},
+		{"too few knots", []float64{0}, []float64{1}},
+		{"non-increasing x", []float64{0, 0}, []float64{1, 0}},
+		{"increasing y", []float64{0, 1}, []float64{0, 1}},
+		{"convex", []float64{0, 1, 2}, []float64{100, 90, 85}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewPiecewiseLinear(c.xs, c.ys); err == nil {
+				t.Errorf("NewPiecewiseLinear(%v,%v) should fail", c.xs, c.ys)
+			}
+		})
+	}
+}
+
+func TestValidateCurveRejectsConvex(t *testing.T) {
+	// e^-x style decay is convex; ValidateCurve must reject it.
+	if err := ValidateCurve(convexDecay{}, 10); err == nil {
+		t.Error("ValidateCurve should reject a convex curve")
+	}
+	if err := ValidateCurve(increasing{}, 10); err == nil {
+		t.Error("ValidateCurve should reject an increasing curve")
+	}
+}
+
+type convexDecay struct{}
+
+func (convexDecay) Value(x float64) float64 { return math.Exp(-x) }
+func (convexDecay) Slope(x float64) float64 { return -math.Exp(-x) }
+
+type increasing struct{}
+
+func (increasing) Value(x float64) float64 { return x }
+func (increasing) Slope(x float64) float64 { return 1 }
+
+// Property: for all valid curves, Value decreases and Slope is non-positive
+// on random points.
+func TestCurveMonotonicityProperty(t *testing.T) {
+	curves := []Curve{
+		Linear{K: 2, CMs: 50},
+		NegLatency{},
+		Quadratic{A: 10, B: 0.5},
+		ExpPenalty{A: 5, B: 2, Tau: 7},
+	}
+	f := func(au, bu uint16) bool {
+		a := float64(au) / 100
+		b := float64(bu) / 100
+		if a > b {
+			a, b = b, a
+		}
+		for _, c := range curves {
+			if c.Value(a) < c.Value(b)-1e-9 {
+				return false
+			}
+			if c.Slope(b) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildDiamond(t *testing.T) *task.Task {
+	t.Helper()
+	return task.NewBuilder("d", 100).
+		Subtask("a", "r0", 1).Subtask("b", "r1", 1).
+		Subtask("c", "r2", 1).Subtask("d", "r3", 1).
+		Edge("a", "b").Edge("a", "c").Edge("b", "d").Edge("c", "d").
+		MustBuild()
+}
+
+func TestTaskUtilityValueAndSlope(t *testing.T) {
+	tk := buildDiamond(t)
+	u, err := NewTaskUtility(tk, task.WeightPathNormalized, Linear{K: 2, CMs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := []float64{10, 20, 30, 40}
+	// Normalized weights: {1, .5, .5, 1} -> aggregate = 10+10+15+40 = 75.
+	agg, err := u.Aggregate(lats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg-75) > 1e-12 {
+		t.Fatalf("aggregate = %v, want 75", agg)
+	}
+	v, err := u.Value(lats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-125) > 1e-12 {
+		t.Errorf("value = %v, want 125", v)
+	}
+	if got := u.PartialSlope(1, agg); math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("PartialSlope(1) = %v, want -0.5", got)
+	}
+	if got := u.PartialSlope(0, agg); math.Abs(got-(-1)) > 1e-12 {
+		t.Errorf("PartialSlope(0) = %v, want -1", got)
+	}
+	if u.Mode() != task.WeightPathNormalized {
+		t.Errorf("Mode = %v", u.Mode())
+	}
+	if u.NumSubtasks() != 4 {
+		t.Errorf("NumSubtasks = %d, want 4", u.NumSubtasks())
+	}
+	if u.Weight(3) != 1 {
+		t.Errorf("Weight(3) = %v, want 1", u.Weight(3))
+	}
+	if u.Curve() == nil {
+		t.Error("Curve() returned nil")
+	}
+	if _, err := u.Value([]float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestTaskUtilityBadMode(t *testing.T) {
+	tk := buildDiamond(t)
+	if _, err := NewTaskUtility(tk, task.WeightMode(0), Linear{}); err == nil {
+		t.Error("invalid mode should error")
+	}
+}
+
+func TestSubtaskPercentile(t *testing.T) {
+	// Single-subtask path: the subtask percentile is the path percentile.
+	q, err := SubtaskPercentile(99, 1)
+	if err != nil || math.Abs(q-99) > 1e-9 {
+		t.Fatalf("SubtaskPercentile(99,1) = %v, %v", q, err)
+	}
+	// Two subtasks at percentile q compose to q^2/100 (paper Section 2.1):
+	// verify round trip for several path lengths.
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, p := range []float64{50, 90, 99, 99.9} {
+			q, err := SubtaskPercentile(p, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q < p || q > 100 {
+				t.Errorf("SubtaskPercentile(%v,%d) = %v outside [p,100]", p, n, q)
+			}
+			back, err := ComposedPercentile(q, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("round trip p=%v n=%d: got %v", p, n, back)
+			}
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := SubtaskPercentile(0, 2); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := SubtaskPercentile(101, 2); err == nil {
+		t.Error("p=101 should fail")
+	}
+	if _, err := SubtaskPercentile(50, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ComposedPercentile(0, 2); err == nil {
+		t.Error("q=0 should fail")
+	}
+	if _, err := ComposedPercentile(50, -1); err == nil {
+		t.Error("n<0 should fail")
+	}
+}
+
+// Paper example: lat_a^p + lat_b^p at the same number of released jobs
+// yields the p²/100 percentile; for p=50 and n=2, per-subtask percentile
+// must be sqrt(50)*sqrt(100) ≈ 70.7 to recover an end-to-end median.
+func TestPercentilePaperExample(t *testing.T) {
+	q, err := SubtaskPercentile(50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(50) * math.Sqrt(100)
+	if math.Abs(q-want) > 1e-9 {
+		t.Errorf("q = %v, want %v", q, want)
+	}
+}

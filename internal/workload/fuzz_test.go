@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWorkloadJSON hardens the workload decoder: arbitrary JSON must either
+// fail cleanly or produce a workload that validates and round-trips.
+func FuzzWorkloadJSON(f *testing.F) {
+	for _, w := range []*Workload{Base(), Prototype()} {
+		data, err := json.Marshal(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","resources":[],"tasks":[]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w Workload
+		if err := json.Unmarshal(data, &w); err != nil {
+			return // malformed input fails cleanly
+		}
+		// Decoded successfully: it must validate (UnmarshalJSON validates)
+		// and re-encode to something decodable.
+		if err := w.Validate(); err != nil {
+			t.Fatalf("decoded workload does not validate: %v", err)
+		}
+		out, err := json.Marshal(&w)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var back Workload
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

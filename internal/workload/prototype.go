@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"lla/internal/share"
+	"lla/internal/task"
+	"lla/internal/utility"
+)
+
+// Parameters of the prototype workload (Section 6.2).
+const (
+	// PrototypeLagMs is the resource lag assumed by the prototype's share
+	// model (Section 6.3: "a resource lag of 5ms").
+	PrototypeLagMs = 5.0
+	// PrototypeGCShare is the share reserved for the Metronome garbage
+	// collector, leaving B_r = 0.9 for the tasks.
+	PrototypeGCShare = 0.1
+
+	// Fast tasks (tasks 1, 2): WCET 5ms, 40 jobs/second, critical time
+	// 105ms; minimum share per subtask = 40/s * 5ms = 0.2.
+	FastExecMs     = 5.0
+	FastPeriodMs   = 25.0
+	FastCriticalMs = 105.0
+
+	// Slow tasks (tasks 3, 4): WCET 13ms, 10 jobs/second, critical time
+	// 800ms; minimum share per subtask = 10/s * 13ms = 0.13.
+	SlowExecMs     = 13.0
+	SlowPeriodMs   = 100.0
+	SlowCriticalMs = 800.0
+)
+
+// Prototype returns the four-task workload of the paper's system experiment
+// (Section 6.2): four linearly-dependent three-subtask tasks over three CPU
+// resources, so each CPU runs one subtask of every task. Tasks 1-2 are
+// "fast" (WCET 5ms, 40/s, C=105ms), tasks 3-4 "slow" (WCET 13ms, 10/s,
+// C=800ms); all use the utility f(lat) = -lat. Each subtask carries its
+// rate-derived minimum share (0.2 fast, 0.13 slow) so the optimizer never
+// starves a queue.
+func Prototype() *Workload {
+	res := make([]share.Resource, 3)
+	for i := range res {
+		res[i] = share.Resource{
+			ID:           fmt.Sprintf("cpu%d", i),
+			Kind:         share.CPU,
+			Availability: 1 - PrototypeGCShare,
+			LagMs:        PrototypeLagMs,
+		}
+	}
+
+	w := &Workload{Name: "prototype-4task", Resources: res, Curves: make(map[string]utility.Curve)}
+	for ti := 1; ti <= 4; ti++ {
+		fast := ti <= 2
+		exec, period, crit := SlowExecMs, SlowPeriodMs, SlowCriticalMs
+		if fast {
+			exec, period, crit = FastExecMs, FastPeriodMs, FastCriticalMs
+		}
+		minShare := exec / period // rate (1/ms) * WCET (ms)
+		name := fmt.Sprintf("task%d", ti)
+		b := task.NewBuilder(name, crit).Trigger(task.Periodic(period))
+		var names []string
+		for si := 0; si < 3; si++ {
+			sn := fmt.Sprintf("T%d%d", ti, si+1)
+			b.SubtaskOpts(task.Subtask{
+				Name:     sn,
+				Resource: fmt.Sprintf("cpu%d", si),
+				ExecMs:   exec,
+				MinShare: minShare,
+			})
+			names = append(names, sn)
+		}
+		b.Chain(names...)
+		w.Tasks = append(w.Tasks, b.MustBuild())
+		w.Curves[name] = utility.NegLatency{}
+	}
+	return w
+}

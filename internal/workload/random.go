@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lla/internal/share"
+	"lla/internal/task"
+	"lla/internal/utility"
+)
+
+// RandomConfig parametrizes the random workload generator.
+type RandomConfig struct {
+	// Seed drives the deterministic generator.
+	Seed int64
+	// NumTasks is the number of tasks to generate (>= 1).
+	NumTasks int
+	// NumResources is the size of the resource pool (>= 2).
+	NumResources int
+	// MinSubtasks and MaxSubtasks bound per-task subtask counts; MaxSubtasks
+	// must not exceed NumResources (each task uses distinct resources).
+	MinSubtasks int
+	MaxSubtasks int
+	// MinExecMs and MaxExecMs bound subtask WCETs.
+	MinExecMs float64
+	MaxExecMs float64
+	// SlackFactor scales each task's critical time relative to the minimum
+	// feasible critical path (the sum of effective exec times along the
+	// longest path at full share). Values well above 1 yield schedulable
+	// workloads; values near or below 1 are likely infeasible.
+	SlackFactor float64
+	// LagMs is the scheduling lag of every generated resource.
+	LagMs float64
+	// Availability is B_r of every generated resource.
+	Availability float64
+	// UtilityK is the k of the linear curves f = k*C - lat.
+	UtilityK float64
+	// ChainOnly forces linear chains instead of layered DAGs.
+	ChainOnly bool
+	// MixedCurves draws each task's curve from the full concave family
+	// (linear, quadratic, exp-penalty) instead of all-linear, exercising
+	// the controllers' nonlinear inner solver.
+	MixedCurves bool
+}
+
+// DefaultRandomConfig returns a schedulable medium-sized configuration.
+func DefaultRandomConfig(seed int64) RandomConfig {
+	return RandomConfig{
+		Seed:         seed,
+		NumTasks:     5,
+		NumResources: 8,
+		MinSubtasks:  3,
+		MaxSubtasks:  7,
+		MinExecMs:    1,
+		MaxExecMs:    6,
+		SlackFactor:  8,
+		LagMs:        1,
+		Availability: 1,
+		UtilityK:     2,
+	}
+}
+
+// Random generates a deterministic pseudo-random workload: layered-DAG tasks
+// over a shared resource pool, each subtask on a distinct resource, with
+// critical times derived from longest-path workloads times SlackFactor.
+func Random(cfg RandomConfig) (*Workload, error) {
+	if cfg.NumTasks < 1 {
+		return nil, fmt.Errorf("workload: NumTasks must be >= 1, got %d", cfg.NumTasks)
+	}
+	if cfg.NumResources < 2 {
+		return nil, fmt.Errorf("workload: NumResources must be >= 2, got %d", cfg.NumResources)
+	}
+	if cfg.MinSubtasks < 1 || cfg.MaxSubtasks < cfg.MinSubtasks {
+		return nil, fmt.Errorf("workload: invalid subtask bounds [%d,%d]", cfg.MinSubtasks, cfg.MaxSubtasks)
+	}
+	if cfg.MaxSubtasks > cfg.NumResources {
+		return nil, fmt.Errorf("workload: MaxSubtasks %d exceeds NumResources %d (each task needs distinct resources)", cfg.MaxSubtasks, cfg.NumResources)
+	}
+	if cfg.MinExecMs <= 0 || cfg.MaxExecMs < cfg.MinExecMs {
+		return nil, fmt.Errorf("workload: invalid exec bounds [%v,%v]", cfg.MinExecMs, cfg.MaxExecMs)
+	}
+	if cfg.SlackFactor <= 0 {
+		return nil, fmt.Errorf("workload: SlackFactor must be positive, got %v", cfg.SlackFactor)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{
+		Name:   fmt.Sprintf("random-seed%d", cfg.Seed),
+		Curves: make(map[string]utility.Curve, cfg.NumTasks),
+	}
+	for i := 0; i < cfg.NumResources; i++ {
+		kind := share.CPU
+		if rng.Intn(2) == 1 {
+			kind = share.Link
+		}
+		w.Resources = append(w.Resources, share.Resource{
+			ID:           fmt.Sprintf("r%d", i),
+			Kind:         kind,
+			Availability: cfg.Availability,
+			LagMs:        cfg.LagMs,
+		})
+	}
+
+	for ti := 0; ti < cfg.NumTasks; ti++ {
+		n := cfg.MinSubtasks + rng.Intn(cfg.MaxSubtasks-cfg.MinSubtasks+1)
+		resources := rng.Perm(cfg.NumResources)[:n]
+		name := fmt.Sprintf("task%d", ti)
+
+		t := task.New(name, 1) // critical time set after topology is known
+		t.Trigger = task.Periodic(100 + float64(rng.Intn(100)))
+		for si := 0; si < n; si++ {
+			exec := cfg.MinExecMs + rng.Float64()*(cfg.MaxExecMs-cfg.MinExecMs)
+			t.AddSubtask(task.Subtask{
+				Name:     fmt.Sprintf("T%d_%d", ti, si),
+				Resource: fmt.Sprintf("r%d", resources[si]),
+				ExecMs:   exec,
+			})
+		}
+		if cfg.ChainOnly || n <= 2 {
+			for si := 0; si+1 < n; si++ {
+				t.MustEdge(si, si+1)
+			}
+		} else {
+			// Layered DAG: subtask 0 is the root; every later subtask gets
+			// at least one predecessor among the earlier ones.
+			for si := 1; si < n; si++ {
+				t.MustEdge(rng.Intn(si), si)
+				for p := 0; p < si; p++ {
+					if rng.Float64() < 0.25 {
+						_ = t.AddEdge(p, si) // duplicate edges rejected; fine
+					}
+				}
+			}
+		}
+
+		// Critical time: SlackFactor times the longest-path sum of
+		// (exec + lag), i.e. the critical path if every subtask held the
+		// full resource.
+		lats := make([]float64, n)
+		for si, s := range t.Subtasks {
+			lats[si] = s.ExecMs + cfg.LagMs
+		}
+		minCrit, _, err := t.CriticalPathMs(lats)
+		if err != nil {
+			return nil, fmt.Errorf("workload: generating %s: %w", name, err)
+		}
+		t.CriticalMs = minCrit * cfg.SlackFactor
+
+		w.Tasks = append(w.Tasks, t)
+		if cfg.MixedCurves {
+			switch rng.Intn(3) {
+			case 0:
+				w.Curves[name] = utility.Linear{K: cfg.UtilityK, CMs: t.CriticalMs}
+			case 1:
+				// Scale B so the quadratic's slope at C matches a linear
+				// curve's order of magnitude.
+				w.Curves[name] = utility.Quadratic{A: cfg.UtilityK * t.CriticalMs, B: 0.5 / t.CriticalMs}
+			default:
+				w.Curves[name] = utility.ExpPenalty{A: cfg.UtilityK * t.CriticalMs, B: 1, Tau: t.CriticalMs / 3}
+			}
+		} else {
+			w.Curves[name] = utility.Linear{K: cfg.UtilityK, CMs: t.CriticalMs}
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated workload invalid: %w", err)
+	}
+	return w, nil
+}

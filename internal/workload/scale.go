@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"fmt"
+
+	"lla/internal/utility"
+)
+
+// Replicate returns a workload containing factor copies of every task in w
+// (sharing w's resources), as in the scalability experiment of Section 5.3:
+// "for each of the tasks we add another task with the same characteristics".
+// critScale multiplies every critical time, implementing the paper's
+// overprovisioning ("we ensure that schedulability is maintained ... by
+// setting a high enough critical time"); pass 1 to keep the original
+// critical times, which for factor >= 2 yields the unschedulable workload of
+// the Section 5.4 schedulability test.
+//
+// Linear curves are rebuilt against the scaled critical time so that
+// f_i(lat) = k*C_i' - lat keeps its intended shape; other curve types are
+// reused as-is.
+func Replicate(w *Workload, factor int, critScale float64) (*Workload, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("workload: replication factor must be >= 1, got %d", factor)
+	}
+	if critScale <= 0 {
+		return nil, fmt.Errorf("workload: critical-time scale must be positive, got %v", critScale)
+	}
+	out := &Workload{
+		Name:      fmt.Sprintf("%s-x%d", w.Name, factor),
+		Resources: append(w.Resources[:0:0], w.Resources...),
+		Curves:    make(map[string]utility.Curve, len(w.Tasks)*factor),
+	}
+	for copyIdx := 0; copyIdx < factor; copyIdx++ {
+		for _, t := range w.Tasks {
+			c := t.Clone()
+			if copyIdx > 0 {
+				c.Name = fmt.Sprintf("%s-copy%d", t.Name, copyIdx)
+				for si := range c.Subtasks {
+					c.Subtasks[si].Name = fmt.Sprintf("%s-copy%d", c.Subtasks[si].Name, copyIdx)
+				}
+			}
+			c.CriticalMs = t.CriticalMs * critScale
+			curve := w.Curves[t.Name]
+			if lin, ok := curve.(utility.Linear); ok {
+				curve = utility.Linear{K: lin.K, CMs: c.CriticalMs}
+			}
+			out.Tasks = append(out.Tasks, c)
+			out.Curves[c.Name] = curve
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+
+	"lla/internal/share"
+)
+
+// SchedulabilityReport summarizes the static necessary-condition analysis of
+// Analyze. Passing this analysis does not guarantee schedulability (only
+// running LLA does, per the paper's Section 5.4 methodology), but failing it
+// proves the workload infeasible without running the optimizer.
+type SchedulabilityReport struct {
+	// ResourceFloor[resourceID] is the share demand that every feasible
+	// allocation must place on the resource: the sum over its subtasks of
+	// max(MinShare, (c+l)/latMax) where latMax is the subtask's largest
+	// admissible latency (critical time, tightened by its rate floor).
+	ResourceFloor map[string]float64
+	// ResourceViolations lists resources whose floor exceeds availability.
+	ResourceViolations []string
+	// PathViolations lists "task/path" identifiers whose minimum achievable
+	// latency (every subtask at full availability) exceeds the critical
+	// time.
+	PathViolations []string
+}
+
+// Feasible reports whether no necessary condition is violated.
+func (r *SchedulabilityReport) Feasible() bool {
+	return len(r.ResourceViolations) == 0 && len(r.PathViolations) == 0
+}
+
+// String summarizes the report.
+func (r *SchedulabilityReport) String() string {
+	if r.Feasible() {
+		return "workload passes the static necessary conditions (run LLA for a sufficient test)"
+	}
+	return fmt.Sprintf("workload provably unschedulable: %d resource floor violation(s) %v, %d path violation(s) %v",
+		len(r.ResourceViolations), r.ResourceViolations, len(r.PathViolations), r.PathViolations)
+}
+
+// Analyze runs the static necessary conditions for schedulability:
+//
+//  1. Path floor: along every path, even with every subtask granted its
+//     resource's full availability, the summed latencies must fit within
+//     the critical time.
+//  2. Resource floor: every subtask needs at least share (c+l)/latMax —
+//     with latMax bounded by its critical time and rate floor — so the sum
+//     of these floors must fit within each resource's availability.
+//
+// Both are necessary, not sufficient: the floors ignore the coupling that
+// a subtask cannot simultaneously take its minimum on one constraint and
+// leave slack for every other. The paper's sufficient test is running LLA
+// itself (Section 5.4); Analyze is the cheap pre-filter.
+func Analyze(w *Workload) (*SchedulabilityReport, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &SchedulabilityReport{ResourceFloor: make(map[string]float64, len(w.Resources))}
+
+	for _, t := range w.Tasks {
+		paths, err := t.Paths()
+		if err != nil {
+			return nil, err
+		}
+		// Minimum achievable latency per subtask: full availability.
+		minLat := make([]float64, len(t.Subtasks))
+		maxLat := make([]float64, len(t.Subtasks))
+		for si, s := range t.Subtasks {
+			r, _ := w.ResourceByID(s.Resource)
+			fn := share.WCETLag{ExecMs: s.ExecMs, LagMs: r.LagMs}
+			minLat[si] = fn.LatencyFor(r.Availability)
+			maxLat[si] = t.CriticalMs
+			if s.MinShare > 0 {
+				if cap := fn.LatencyFor(s.MinShare); cap < maxLat[si] {
+					maxLat[si] = cap
+				}
+			}
+		}
+		for pi, p := range paths {
+			sum := 0.0
+			for _, si := range p {
+				sum += minLat[si]
+			}
+			if sum > t.CriticalMs {
+				rep.PathViolations = append(rep.PathViolations, fmt.Sprintf("%s/path%d", t.Name, pi))
+			}
+		}
+		for si, s := range t.Subtasks {
+			r, _ := w.ResourceByID(s.Resource)
+			fn := share.WCETLag{ExecMs: s.ExecMs, LagMs: r.LagMs}
+			floor := fn.Share(maxLat[si])
+			if s.MinShare > floor {
+				floor = s.MinShare
+			}
+			rep.ResourceFloor[r.ID] += floor
+		}
+	}
+	for _, r := range w.Resources {
+		if rep.ResourceFloor[r.ID] > r.Availability+1e-9 {
+			rep.ResourceViolations = append(rep.ResourceViolations, r.ID)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeBaseWorkloadPasses(t *testing.T) {
+	rep, err := Analyze(Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Fatalf("base workload should pass necessary conditions: %v", rep)
+	}
+	if !strings.Contains(rep.String(), "passes") {
+		t.Errorf("String = %q", rep.String())
+	}
+	// Floors are positive and below availability.
+	for id, floor := range rep.ResourceFloor {
+		if floor <= 0 || floor > 1 {
+			t.Errorf("resource %s floor = %v", id, floor)
+		}
+	}
+}
+
+func TestAnalyzePrototypeFloorMatchesPaper(t *testing.T) {
+	rep, err := Analyze(Prototype())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Fatalf("prototype should pass: %v", rep)
+	}
+	// Per CPU: fast floor = max(0.2, 10/50) = 0.2 each; slow floor =
+	// max(0.13, 18/138.46) = 0.13 each -> 0.66 (the paper's utilization).
+	for _, id := range []string{"cpu0", "cpu1", "cpu2"} {
+		if f := rep.ResourceFloor[id]; f < 0.659 || f > 0.661 {
+			t.Errorf("%s floor = %v, want 0.66", id, f)
+		}
+	}
+}
+
+// The static floors are only necessary conditions: the unschedulable 6-task
+// workload of Section 5.4 passes them (each subtask alone could stretch to
+// its critical time), which is precisely why the paper uses LLA itself as
+// the schedulability test. Analyze documents this insufficiency.
+func TestAnalyzeStaticFloorsAreInsufficient(t *testing.T) {
+	w, err := Replicate(Base(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Fatalf("the weak static floors were expected to pass here: %v", rep)
+	}
+}
+
+func TestAnalyzeDetectsResourceOverload(t *testing.T) {
+	// Min-share floors that provably exceed capacity: 4 subtasks of
+	// MinShare 0.3 on one CPU.
+	w := Prototype()
+	for _, tk := range w.Tasks {
+		tk.Subtasks[0].MinShare = 0.3
+	}
+	rep, err := Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible() {
+		t.Fatalf("1.2 total min share on a 0.9 CPU should fail: %+v", rep.ResourceFloor)
+	}
+	if len(rep.ResourceViolations) == 0 || rep.ResourceViolations[0] != "cpu0" {
+		t.Errorf("violations = %v, want cpu0", rep.ResourceViolations)
+	}
+	if !strings.Contains(rep.String(), "unschedulable") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestAnalyzeDetectsImpossiblePath(t *testing.T) {
+	w := Base()
+	w.Tasks[2].CriticalMs = 10 // chain of 6 with Σ(c+l) = 24 > 10
+	rep, err := Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PathViolations) == 0 {
+		t.Fatal("expected a path violation")
+	}
+	found := false
+	for _, v := range rep.PathViolations {
+		if strings.HasPrefix(v, "task3/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations = %v, want task3 path", rep.PathViolations)
+	}
+}
+
+func TestAnalyzeRejectsInvalidWorkload(t *testing.T) {
+	w := Base()
+	w.Resources = nil
+	if _, err := Analyze(w); err == nil {
+		t.Fatal("invalid workload should fail")
+	}
+}

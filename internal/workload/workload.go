@@ -1,0 +1,136 @@
+// Package workload defines complete LLA problem instances — tasks, resources
+// and per-task utility curves — including the paper's evaluation workloads:
+// the base three-task simulation workload of Section 5 (Table 1 / Figure 4),
+// the four-task prototype workload of Section 6, replication-based scaling
+// (Sections 5.3 and 5.4), and a seeded random workload generator.
+package workload
+
+import (
+	"fmt"
+
+	"lla/internal/share"
+	"lla/internal/task"
+	"lla/internal/utility"
+)
+
+// Workload is a full problem instance for the optimizer and simulator.
+type Workload struct {
+	// Name identifies the workload in reports.
+	Name string
+	// Tasks are the end-to-end tasks competing for the resources.
+	Tasks []*task.Task
+	// Resources are the schedulable resources, each with availability B_r
+	// and scheduling lag l_r.
+	Resources []share.Resource
+	// Curves maps task name to its latency-to-benefit curve.
+	Curves map[string]utility.Curve
+}
+
+// ResourceByID returns the resource with the given ID, or false.
+func (w *Workload) ResourceByID(id string) (share.Resource, bool) {
+	for _, r := range w.Resources {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return share.Resource{}, false
+}
+
+// TaskByName returns the task with the given name, or nil.
+func (w *Workload) TaskByName(name string) *task.Task {
+	for _, t := range w.Tasks {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Validate checks the workload for structural consistency: valid tasks and
+// resources, unique names, every referenced resource defined, a curve for
+// every task, and (per the paper's simplifying assumption in Section 2.1)
+// no two subtasks of the same task on the same resource.
+func (w *Workload) Validate() error {
+	if len(w.Tasks) == 0 {
+		return fmt.Errorf("workload %s: no tasks", w.Name)
+	}
+	if len(w.Resources) == 0 {
+		return fmt.Errorf("workload %s: no resources", w.Name)
+	}
+	resIDs := make(map[string]bool, len(w.Resources))
+	for _, r := range w.Resources {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		if resIDs[r.ID] {
+			return fmt.Errorf("workload %s: duplicate resource %q", w.Name, r.ID)
+		}
+		resIDs[r.ID] = true
+	}
+	taskNames := make(map[string]bool, len(w.Tasks))
+	for _, t := range w.Tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		if taskNames[t.Name] {
+			return fmt.Errorf("workload %s: duplicate task %q", w.Name, t.Name)
+		}
+		taskNames[t.Name] = true
+		perRes := make(map[string]string)
+		for _, s := range t.Subtasks {
+			if !resIDs[s.Resource] {
+				return fmt.Errorf("workload %s: task %s subtask %s references unknown resource %q", w.Name, t.Name, s.Name, s.Resource)
+			}
+			if prev, dup := perRes[s.Resource]; dup {
+				return fmt.Errorf("workload %s: task %s has subtasks %s and %s on the same resource %q", w.Name, t.Name, prev, s.Name, s.Resource)
+			}
+			perRes[s.Resource] = s.Name
+		}
+		curve, ok := w.Curves[t.Name]
+		if !ok || curve == nil {
+			return fmt.Errorf("workload %s: task %s has no utility curve", w.Name, t.Name)
+		}
+		if err := utility.ValidateCurve(curve, t.CriticalMs); err != nil {
+			return fmt.Errorf("workload %s: task %s: %w", w.Name, t.Name, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the workload. Curves are shared (they are
+// immutable values).
+func (w *Workload) Clone() *Workload {
+	c := &Workload{
+		Name:      w.Name,
+		Resources: append([]share.Resource(nil), w.Resources...),
+		Curves:    make(map[string]utility.Curve, len(w.Curves)),
+	}
+	for _, t := range w.Tasks {
+		c.Tasks = append(c.Tasks, t.Clone())
+	}
+	for k, v := range w.Curves {
+		c.Curves[k] = v
+	}
+	return c
+}
+
+// TotalSubtasks counts subtasks across all tasks.
+func (w *Workload) TotalSubtasks() int {
+	n := 0
+	for _, t := range w.Tasks {
+		n += len(t.Subtasks)
+	}
+	return n
+}
+
+// SubtasksOn returns, for each resource ID, the (task index, subtask index)
+// pairs of subtasks consuming it.
+func (w *Workload) SubtasksOn() map[string][][2]int {
+	m := make(map[string][][2]int, len(w.Resources))
+	for ti, t := range w.Tasks {
+		for si, s := range t.Subtasks {
+			m[s.Resource] = append(m[s.Resource], [2]int{ti, si})
+		}
+	}
+	return m
+}

@@ -1,0 +1,287 @@
+// Package lla is the public API of the LLA (Lagrangian Latency Assignment)
+// library, a reproduction of "Online Optimization for Latency Assignment in
+// Distributed Real-Time Systems" (Lumezanu, Bhola, Astley — ICDCS 2008).
+//
+// LLA assigns per-subtask latencies (equivalently, proportional-share
+// resource fractions) to distributed end-to-end tasks so that the aggregate
+// utility — a concave, non-increasing function of each task's latency — is
+// maximized subject to per-resource capacity constraints and per-path
+// critical-time (deadline) constraints. The optimization runs online and
+// distributed: resources price their congestion, task controllers price
+// their deadline slack, and both sides iterate by gradient projection.
+//
+// The facade re-exports the library's layers:
+//
+//   - Task modeling: Task, Subtask, NewTask (builder), Periodic/Poisson/
+//     Bursty triggers.
+//   - Utility curves: Linear, NegLatency, Quadratic, ExpPenalty,
+//     NewPiecewiseLinear.
+//   - Workloads: Workload, plus the paper's evaluation workloads
+//     (BaseWorkload, PrototypeWorkload), replication scaling and a random
+//     generator.
+//   - The optimizer: Engine (synchronous) and the distributed runtime
+//     (NewDistributed) over in-process or TCP transports.
+//   - The simulator: Simulator, a discrete-event proportional-share world
+//     for enacting and measuring assignments.
+//   - Online model error correction: Corrector.
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for the
+// mapping between the paper's sections and the packages.
+package lla
+
+import (
+	"lla/internal/baseline"
+	"lla/internal/closedloop"
+	"lla/internal/core"
+	"lla/internal/dist"
+	"lla/internal/errcorr"
+	"lla/internal/share"
+	"lla/internal/sim"
+	"lla/internal/task"
+	"lla/internal/transport"
+	"lla/internal/utility"
+	"lla/internal/workload"
+)
+
+// Task modeling.
+type (
+	// Task is an end-to-end task: subtasks, a precedence DAG, a trigger and
+	// a critical time.
+	Task = task.Task
+	// Subtask is one stage of a task, consuming exactly one resource.
+	Subtask = task.Subtask
+	// TaskBuilder constructs tasks fluently; see NewTask.
+	TaskBuilder = task.Builder
+	// Trigger describes a task's triggering-event arrival pattern.
+	Trigger = task.Trigger
+	// WeightMode selects the utility variant (sum vs path-weighted).
+	WeightMode = task.WeightMode
+)
+
+// NewTask starts building a task with the given name and critical time
+// (milliseconds).
+func NewTask(name string, criticalMs float64) *TaskBuilder {
+	return task.NewBuilder(name, criticalMs)
+}
+
+// Trigger constructors.
+var (
+	// Periodic returns a fixed-period trigger.
+	Periodic = task.Periodic
+	// Poisson returns a Poisson-arrival trigger.
+	Poisson = task.Poisson
+	// Bursty returns an on/off bursty trigger.
+	Bursty = task.Bursty
+)
+
+// Weight modes (Section 3.2 of the paper).
+const (
+	// WeightSum weights every subtask equally.
+	WeightSum = task.WeightSum
+	// WeightPathNormalized weights subtasks by the fraction of paths
+	// through them (the paper's path-weighted variant; default).
+	WeightPathNormalized = task.WeightPathNormalized
+	// WeightPathRaw uses unnormalized path counts (ablation).
+	WeightPathRaw = task.WeightPathRaw
+)
+
+// Utility curves.
+type (
+	// Curve maps aggregate latency to benefit; implementations must be
+	// concave and non-increasing.
+	Curve = utility.Curve
+	// Linear is f(x) = K*C - x.
+	Linear = utility.Linear
+	// NegLatency is f(x) = -x.
+	NegLatency = utility.NegLatency
+	// Quadratic is f(x) = A - B*x².
+	Quadratic = utility.Quadratic
+	// ExpPenalty is f(x) = A - B*(e^(x/Tau) - 1), a concave approximation
+	// of an inelastic (hard-deadline) task.
+	ExpPenalty = utility.ExpPenalty
+)
+
+// NewPiecewiseLinear builds a concave piecewise-linear curve.
+var NewPiecewiseLinear = utility.NewPiecewiseLinear
+
+// Resource is a schedulable CPU or network link with availability B_r and
+// proportional-share lag l_r.
+type Resource = share.Resource
+
+// Resource kinds.
+const (
+	// CPU labels a processing resource.
+	CPU = share.CPU
+	// Link labels a network-bandwidth resource.
+	Link = share.Link
+)
+
+// Engine is the synchronous LLA optimizer.
+type Engine = core.Engine
+
+// Config configures the optimizer (weight mode, step policy, ...).
+type Config = core.Config
+
+// StepPolicy configures price step sizes; Adaptive enables the paper's
+// congestion-doubling heuristic.
+type StepPolicy = core.StepPolicy
+
+// Snapshot is the optimizer's observable state after an iteration.
+type Snapshot = core.Snapshot
+
+// Workload is a complete problem instance: tasks, resources and utility
+// curves.
+type Workload = workload.Workload
+
+// NewEngine compiles a workload into a synchronous optimizer.
+func NewEngine(w *Workload, cfg Config) (*Engine, error) {
+	return core.NewEngine(w, cfg)
+}
+
+// Paper evaluation workloads.
+var (
+	// BaseWorkload returns the three-task simulation workload of Section 5
+	// (Table 1 / Figure 4).
+	BaseWorkload = workload.Base
+	// PrototypeWorkload returns the four-task prototype workload of
+	// Section 6.
+	PrototypeWorkload = workload.Prototype
+	// Replicate scales a workload by task replication.
+	Replicate = workload.Replicate
+	// RandomWorkload generates a seeded random workload.
+	RandomWorkload = workload.Random
+)
+
+// SchedulabilityReport is the result of the static necessary-condition
+// analysis; the sufficient schedulability test is running LLA itself
+// (Section 5.4 of the paper).
+type SchedulabilityReport = workload.SchedulabilityReport
+
+// AnalyzeWorkload runs the static necessary conditions for schedulability
+// (path and resource floors).
+var AnalyzeWorkload = workload.Analyze
+
+// RandomConfig parametrizes RandomWorkload.
+type RandomConfig = workload.RandomConfig
+
+// DefaultRandomConfig returns a schedulable medium-sized configuration.
+var DefaultRandomConfig = workload.DefaultRandomConfig
+
+// Simulator is the discrete-event proportional-share world.
+type Simulator = sim.Sim
+
+// SimConfig configures the simulator.
+type SimConfig = sim.Config
+
+// Scheduler kinds for the simulator.
+const (
+	// SchedGPS is the idealized fluid proportional-share scheduler.
+	SchedGPS = sim.GPS
+	// SchedQuantum is the quantum-based scheduler with realistic lag.
+	SchedQuantum = sim.Quantum
+	// SchedSFQ is the start-time fair queuing scheduler.
+	SchedSFQ = sim.SFQ
+)
+
+// NewSimulator builds a simulator for a workload.
+func NewSimulator(w *Workload, cfg SimConfig) (*Simulator, error) {
+	return sim.New(w, cfg)
+}
+
+// Enactor implements the paper's enactment policy (Section 4.4): the
+// optimizer runs continuously but allocations are pushed to the schedulers
+// only on significant change.
+type Enactor = core.Enactor
+
+// NewEnactor returns an enactor with the paper's thresholds.
+var NewEnactor = core.NewEnactor
+
+// ClosedLoop packages the paper's deployed system shape (Section 6): the
+// optimizer runs continuously against a (simulated) proportional-share
+// system, enacting allocations through the enactment policy and improving
+// the share model online from measured latencies.
+type ClosedLoop = closedloop.Loop
+
+// ClosedLoopConfig parametrizes a ClosedLoop.
+type ClosedLoopConfig = closedloop.Config
+
+// ClosedLoopEpoch is one loop iteration's observation.
+type ClosedLoopEpoch = closedloop.Epoch
+
+// NewClosedLoop builds a closed loop over a workload.
+func NewClosedLoop(w *Workload, engineCfg Config, simCfg SimConfig, cfg ClosedLoopConfig) (*ClosedLoop, error) {
+	return closedloop.New(w, engineCfg, simCfg, cfg)
+}
+
+// Corrector is the online additive model-error corrector (Section 6.3).
+type Corrector = errcorr.Corrector
+
+// CorrectorConfig parametrizes a Corrector.
+type CorrectorConfig = errcorr.Config
+
+// NewCorrector builds a corrector.
+var NewCorrector = errcorr.New
+
+// Distributed runtime.
+type (
+	// Distributed drives LLA as message-passing resource and controller
+	// nodes over a transport.
+	Distributed = dist.Runtime
+	// DistResult summarizes a distributed run.
+	DistResult = dist.Result
+	// Network is a messaging substrate (in-process or TCP).
+	Network = transport.Network
+)
+
+// NewDistributed assembles a distributed deployment on the given network.
+func NewDistributed(w *Workload, cfg Config, net Network) (*Distributed, error) {
+	return dist.New(w, cfg, net)
+}
+
+// AsyncResult summarizes an asynchronous distributed run.
+type AsyncResult = dist.AsyncResult
+
+// RunAsync runs LLA without round synchronization for the given wall-clock
+// duration: nodes compute on whatever prices/latencies have arrived and
+// publish immediately. Prefer fixed moderate steps under long message
+// delays (see internal/dist documentation).
+var RunAsync = dist.RunAsync
+
+// NewInprocNetwork returns an in-process network (with optional delay/loss
+// injection).
+func NewInprocNetwork(cfg InprocConfig) Network {
+	return transport.NewInproc(cfg)
+}
+
+// InprocConfig tunes the in-process network.
+type InprocConfig = transport.InprocConfig
+
+// NewTCPNetwork returns a TCP network with a logical-name registry.
+func NewTCPNetwork(registry map[string]string) *transport.TCP {
+	return transport.NewTCP(registry)
+}
+
+// Baselines (offline deadline-slicing heuristics and the centralized
+// reference solver) for comparison against LLA.
+type (
+	// BaselineAssignment is a per-task latency assignment produced by a
+	// baseline algorithm.
+	BaselineAssignment = baseline.Assignment
+	// BaselineEvaluation summarizes an assignment's utility and constraint
+	// violations.
+	BaselineEvaluation = baseline.Evaluation
+	// CentralConfig parametrizes the centralized reference solver.
+	CentralConfig = baseline.CentralConfig
+)
+
+var (
+	// EvenSlice distributes each critical time evenly along paths.
+	EvenSlice = baseline.EvenSlice
+	// ProportionalSlice distributes critical times proportionally to WCET.
+	ProportionalSlice = baseline.ProportionalSlice
+	// EvaluateAssignment scores an assignment against a workload.
+	EvaluateAssignment = baseline.Evaluate
+	// CentralSolve runs the centralized augmented-Lagrangian reference
+	// solver.
+	CentralSolve = baseline.Central
+)
