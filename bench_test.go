@@ -15,9 +15,11 @@
 package lla_test
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 	"testing"
+	"time"
 
 	"lla"
 	"lla/internal/baseline"
@@ -312,6 +314,86 @@ func BenchmarkEngineStepLarge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Step()
 	}
+}
+
+// BenchmarkScale measures steady-state Step cost across replication
+// factors (Section 5.3's scaling axis) for the serial path (workers=1) and
+// the sharded parallel path (workers=0, i.e. GOMAXPROCS). Compare the
+// matching sub-benchmarks for the parallel speedup at each scale; allocs/op
+// must be 0 for every variant.
+func BenchmarkScale(b *testing.B) {
+	for _, factor := range []int{8, 32, 128} {
+		for _, workers := range []int{1, 0} {
+			label := "parallel"
+			if workers == 1 {
+				label = "serial"
+			}
+			b.Run(fmt.Sprintf("x%d/%s", factor, label), func(b *testing.B) {
+				w, err := workload.Replicate(workload.Base(), factor, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := core.NewEngine(w, core.Config{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				for i := 0; i < 30; i++ {
+					e.Step() // settle into the steady state
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+				b.ReportMetric(float64(e.Workers()), "workers")
+			})
+		}
+	}
+}
+
+// BenchmarkScaleParallel runs the paper's 64-fold replicated workload
+// through both engine variants and reports the parallel speedup directly.
+// The timed loop is the parallel engine's steady-state Step; allocs/op must
+// report 0.
+func BenchmarkScaleParallel(b *testing.B) {
+	w, err := workload.Replicate(workload.Base(), 64, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serial, err := core.NewEngine(w, core.Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer serial.Close()
+	par, err := core.NewEngine(w, core.Config{Workers: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer par.Close()
+	const probe = 300
+	for i := 0; i < 30; i++ {
+		serial.Step()
+		par.Step()
+	}
+	start := time.Now()
+	for i := 0; i < probe; i++ {
+		serial.Step()
+	}
+	serialNs := float64(time.Since(start).Nanoseconds()) / probe
+	start = time.Now()
+	for i := 0; i < probe; i++ {
+		par.Step()
+	}
+	parNs := float64(time.Since(start).Nanoseconds()) / probe
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.Step()
+	}
+	b.ReportMetric(serialNs/parNs, "speedup")
+	b.ReportMetric(serialNs, "serial_ns/iter")
+	b.ReportMetric(float64(par.Workers()), "workers")
 }
 
 // BenchmarkDistributedRounds measures distributed rounds per second over

@@ -30,6 +30,7 @@ func run(args []string) error {
 	experiment := fs.String("experiment", "all", "experiment: table1, fig5, fig6, fig7, fig8, percentiles, ablation-weights, ablation-baselines, adaptation, all")
 	quick := fs.Bool("quick", false, "shrink iteration budgets (smoke test)")
 	seed := fs.Int64("seed", 1, "simulation seed (fig8)")
+	workers := fs.Int("workers", 0, "optimizer shards per iteration: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
 	csvDir := fs.String("csv", "", "directory to write full series CSVs into")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,7 +61,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q (see -h for the list)", *experiment)
 	}
 
-	opts := eval.Options{Quick: *quick, Seed: *seed}
+	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	for _, name := range selected {
 		res, err := runners[name](opts)
 		if err != nil {

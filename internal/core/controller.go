@@ -190,12 +190,19 @@ func (c *Controller) CriticalPathMs() (float64, int) {
 // Shares returns the per-subtask resource shares implied by the current
 // latencies.
 func (c *Controller) Shares() []float64 {
-	pt := &c.p.Tasks[c.ti]
 	out := make([]float64, len(c.LatMs))
-	for si, lat := range c.LatMs {
-		out[si] = pt.Share[si].Share(lat)
-	}
+	c.SharesInto(out)
 	return out
+}
+
+// SharesInto writes the per-subtask resource shares implied by the current
+// latencies into dst (len >= len(LatMs)). The engine's hot path and
+// SnapshotInto use it to keep steady-state iterations allocation-free.
+func (c *Controller) SharesInto(dst []float64) {
+	pt := &c.p.Tasks[c.ti]
+	for si, lat := range c.LatMs {
+		dst[si] = pt.Share[si].Share(lat)
+	}
 }
 
 // ResetPrices zeroes the path prices and resets their step sizers; used

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"lla/internal/price"
 	"lla/internal/stats"
@@ -34,6 +35,13 @@ type Config struct {
 	// MaxInner bounds the controller's fixed-point rounds for nonlinear
 	// curves (default 30).
 	MaxInner int
+	// Workers sets how many shards Step fans the per-task controller work
+	// across: 0 (or negative) uses GOMAXPROCS, 1 runs everything on the
+	// calling goroutine (the serial path). Controllers only read the
+	// previous iteration's resource state, and the per-resource share sums
+	// are reduced serially in a fixed subtask order, so every worker count
+	// produces bitwise-identical results.
+	Workers int
 }
 
 // withDefaults fills unset fields.
@@ -69,6 +77,23 @@ type Engine struct {
 	// state; controllers consume it for the adaptive path-step heuristic.
 	shareSums []float64
 	congested []bool
+
+	// mu is the reused per-Step snapshot of resource prices; taking it
+	// before the controller phase is what lets shards run against a frozen
+	// previous-iteration view.
+	mu []float64
+	// shares[ti][si] is the per-subtask share scratch: each shard writes
+	// the shares of its own tasks after allocating latencies, and the
+	// serial reduction sums them per resource in compiled subtask order so
+	// the result is bitwise-independent of the worker count. Backed by one
+	// flat allocation.
+	shares [][]float64
+	// nshards is the resolved shard count (Config.Workers clamped to the
+	// task count, at least 1).
+	nshards int
+	// pool holds the parked shard workers; nil until the first parallel
+	// Step and whenever nshards == 1.
+	pool *workerPool
 }
 
 // NewEngine compiles the workload and builds controllers and resource
@@ -84,7 +109,19 @@ func NewEngine(w *workload.Workload, cfg Config) (*Engine, error) {
 		cfg:       cfg,
 		shareSums: make([]float64, len(p.Resources)),
 		congested: make([]bool, len(p.Resources)),
+		mu:        make([]float64, len(p.Resources)),
+		nshards:   resolveShards(cfg.Workers, len(p.Tasks)),
 	}
+	flat := make([]float64, p.NumSubtasks())
+	e.shares = make([][]float64, len(p.Tasks))
+	for ti := range p.Tasks {
+		n := len(p.Tasks[ti].Res)
+		e.shares[ti] = flat[:n:n]
+		flat = flat[n:]
+	}
+	// Callers that drop an engine without Close must not leak its parked
+	// workers; the pool never references the engine, so finalization fires.
+	runtime.SetFinalizer(e, (*Engine).Close)
 	newStep := func() price.StepSizer {
 		if cfg.Step.Adaptive {
 			a := price.NewAdaptive(cfg.Step.Gamma)
@@ -129,22 +166,77 @@ func (e *Engine) refreshResourceState() {
 // prices (Equation 9) and re-solves its latencies against the current
 // resource prices (Equation 7); then each resource agent re-prices its
 // capacity from the new demand (Equation 8).
+//
+// The controller phase fans out across nshards contiguous task ranges:
+// controllers are independent given the frozen mu/congested snapshot, so
+// shards never touch shared mutable state. Each shard also evaluates its
+// tasks' share functions into the engine scratch; the resource phase then
+// reduces those values serially in compiled subtask order, which makes the
+// arithmetic — and therefore the whole trajectory — bitwise-identical for
+// every worker count. Steady-state Steps perform no heap allocation.
 func (e *Engine) Step() {
-	mu := make([]float64, len(e.agents))
 	for ri, a := range e.agents {
-		mu[ri] = a.Mu
+		e.mu[ri] = a.Mu
 	}
-	for _, c := range e.controllers {
-		c.UpdatePathPrices(e.congested)
-		c.AllocateLatencies(mu)
+	if e.nshards > 1 {
+		if e.pool == nil {
+			e.pool = newWorkerPool(e.nshards - 1)
+		}
+		e.pool.dispatch(e)
+	} else {
+		e.runShard(0)
 	}
 	for ri, a := range e.agents {
-		sum := a.ShareSum(e.latOf)
+		sum := a.ShareSumFrom(e.shares)
 		a.UpdatePrice(sum)
 		e.shareSums[ri] = sum
 		e.congested[ri] = a.Congested(sum)
 	}
 	e.iter++
+}
+
+// runShard executes the controller phase for shard w's contiguous task
+// range against the frozen e.mu/e.congested snapshot, leaving the resulting
+// share values in e.shares for the serial reduction.
+func (e *Engine) runShard(w int) {
+	nt := len(e.controllers)
+	lo, hi := w*nt/e.nshards, (w+1)*nt/e.nshards
+	for ti := lo; ti < hi; ti++ {
+		c := e.controllers[ti]
+		c.UpdatePathPrices(e.congested)
+		c.AllocateLatencies(e.mu)
+		c.SharesInto(e.shares[ti])
+	}
+}
+
+// resolveShards maps Config.Workers to the effective shard count.
+func resolveShards(workers, numTasks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numTasks {
+		workers = numTasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Workers returns the effective shard count of the parallel controller
+// phase (1 means the fully serial path).
+func (e *Engine) Workers() int { return e.nshards }
+
+// Close retires the engine's parked shard workers. It is safe to call
+// multiple times, and the engine remains usable afterwards — the next
+// parallel Step simply respawns the pool. Engines abandoned without Close
+// are cleaned up by a finalizer, but long-lived programs that churn through
+// engines should Close them promptly.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
 }
 
 // Run executes n iterations, invoking record (if non-nil) after each with
@@ -161,18 +253,22 @@ func (e *Engine) Run(n int, record func(Snapshot)) {
 // RunUntilConverged iterates until the total utility is stable (relative
 // change < relTol for window consecutive iterations) and no constraint is
 // violated beyond tol, or until maxIters. It returns the final snapshot and
-// whether convergence was reached.
+// whether convergence was reached. Each iteration is judged through the
+// allocation-free Probe rather than a deep-copied Snapshot; the full
+// snapshot is assembled once on exit.
 func (e *Engine) RunUntilConverged(maxIters int, relTol float64, window int, tol float64) (Snapshot, bool) {
+	if maxIters <= 0 {
+		return Snapshot{}, false
+	}
 	det := stats.NewConvergenceDetector(relTol, window)
-	var snap Snapshot
 	for i := 0; i < maxIters; i++ {
 		e.Step()
-		snap = e.Snapshot()
-		if det.Observe(snap.Utility) && snap.MaxResourceViolation < tol && snap.MaxPathViolationFrac < tol {
-			return snap, true
+		pr := e.Probe()
+		if det.Observe(pr.Utility) && pr.MaxResourceViolation < tol && pr.MaxPathViolationFrac < tol {
+			return e.Snapshot(), true
 		}
 	}
-	return snap, false
+	return e.Snapshot(), false
 }
 
 // SetAvailability changes a resource's availability B_r at runtime (resource
@@ -180,6 +276,9 @@ func (e *Engine) RunUntilConverged(maxIters int, relTol float64, window int, tol
 // latency bounds of every subtask on it. The optimizer adapts over the
 // following iterations; prices are left untouched so adaptation is
 // incremental, as in the paper's continuously-running deployment.
+// Like SetErrorMs and SetMinShare it must be called from the goroutine
+// driving Step: shard workers only run inside a Step, so changes applied
+// between Steps are published to them by the next dispatch.
 func (e *Engine) SetAvailability(resourceID string, availability float64) error {
 	if availability <= 0 || availability > 1 {
 		return fmt.Errorf("core: availability %v outside (0,1]", availability)

@@ -1,0 +1,58 @@
+package core
+
+import "sync"
+
+// workerPool holds the engine's persistent shard workers. Spawning
+// goroutines per Step would heap-allocate a closure per worker per
+// iteration; instead each worker parks on its own buffered channel and is
+// woken by sending the engine pointer, which allocates nothing. Workers
+// reference only the pool — never an Engine — so a parked pool does not pin
+// an abandoned engine in memory and the engine's finalizer can release the
+// goroutines of callers that forget Close.
+type workerPool struct {
+	// feed[w] wakes worker w; worker w always runs shard w+1 (shard 0 runs
+	// on the dispatching goroutine). Closing the channel retires the worker.
+	feed []chan *Engine
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// newWorkerPool starts extra parked workers (one per shard beyond shard 0).
+func newWorkerPool(extra int) *workerPool {
+	p := &workerPool{feed: make([]chan *Engine, extra)}
+	for w := range p.feed {
+		ch := make(chan *Engine, 1)
+		p.feed[w] = ch
+		shard := w + 1
+		go func() {
+			for e := range ch {
+				e.runShard(shard)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// dispatch runs one parallel controller phase: it wakes every worker, runs
+// shard 0 on the calling goroutine, and returns once all shards finish. The
+// channel sends order the caller's writes (mu, congested) before the shard
+// reads, and wg.Wait orders the shards' writes (LatMs, shares) before the
+// caller's reduction.
+func (p *workerPool) dispatch(e *Engine) {
+	p.wg.Add(len(p.feed))
+	for _, ch := range p.feed {
+		ch <- e
+	}
+	e.runShard(0)
+	p.wg.Wait()
+}
+
+// close retires the workers. Idempotent; safe on a pool mid-park.
+func (p *workerPool) close() {
+	p.once.Do(func() {
+		for _, ch := range p.feed {
+			close(ch)
+		}
+	})
+}

@@ -64,6 +64,10 @@ func (e *Engine) ReplaceWorkload(w *workload.Workload) error {
 	}
 
 	next.refreshResourceState()
+	// Retire the old worker pool before the overwrite: next has never
+	// stepped, so its pool field is nil and the replacement engine respawns
+	// workers lazily on its first parallel Step.
+	e.Close()
 	*e = *next
 	return nil
 }

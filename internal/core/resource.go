@@ -53,6 +53,19 @@ func (a *ResourceAgent) ShareSum(latOf func(ti int) []float64) float64 {
 	return sum
 }
 
+// ShareSumFrom reduces the total demand on this resource from pre-evaluated
+// per-subtask share values (indexed [task][subtask]). The summation order is
+// the compiled subtask order — identical to ShareSum's — so the reduction is
+// bitwise-deterministic no matter how many workers produced the values.
+func (a *ResourceAgent) ShareSumFrom(shares [][]float64) float64 {
+	r := &a.p.Resources[a.ri]
+	sum := 0.0
+	for _, sub := range r.Subs {
+		sum += shares[sub[0]][sub[1]]
+	}
+	return sum
+}
+
 // CongestionMargin is the relative violation below which a constraint is
 // treated as merely saturated rather than congested for step-size ramping.
 // At LLA's optimum resources sit exactly at capacity, so without a margin

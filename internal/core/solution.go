@@ -36,34 +36,111 @@ type Snapshot struct {
 	MaxPathViolationFrac float64
 }
 
-// Snapshot assembles the current state.
+// Snapshot assembles the current state into freshly allocated slices.
 func (e *Engine) Snapshot() Snapshot {
-	s := Snapshot{
-		Iteration: e.iter,
-		ShareSums: append([]float64(nil), e.shareSums...),
-	}
+	var s Snapshot
+	e.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto assembles the current state into s, reusing s's slices when
+// their capacity suffices. Callers that poll every iteration (monitoring
+// loops, convergence studies) can hold one Snapshot and refill it without
+// per-iteration garbage; the refilled snapshot aliases its previous
+// buffers, so copy anything that must outlive the next call.
+func (e *Engine) SnapshotInto(s *Snapshot) {
+	nt, nr := len(e.controllers), len(e.agents)
+	s.Iteration = e.iter
+	s.Utility = 0
+	s.MaxResourceViolation = 0
+	s.MaxPathViolationFrac = 0
+	s.ShareSums = resizeFloats(s.ShareSums, nr)
+	copy(s.ShareSums, e.shareSums)
+	s.Mu = resizeFloats(s.Mu, nr)
 	for ri, a := range e.agents {
-		s.Mu = append(s.Mu, a.Mu)
+		s.Mu[ri] = a.Mu
 		over := e.shareSums[ri] - e.p.Resources[ri].Availability
 		if over > s.MaxResourceViolation {
 			s.MaxResourceViolation = over
 		}
 	}
+	s.TaskUtility = resizeFloats(s.TaskUtility, nt)
+	s.LatMs = resizeRows(s.LatMs, nt)
+	s.Shares = resizeRows(s.Shares, nt)
+	s.CriticalPathMs = resizeFloats(s.CriticalPathMs, nt)
+	s.CriticalTimeMs = resizeFloats(s.CriticalTimeMs, nt)
 	for ti, c := range e.controllers {
 		u := c.Utility()
-		s.TaskUtility = append(s.TaskUtility, u)
+		s.TaskUtility[ti] = u
 		s.Utility += u
-		s.LatMs = append(s.LatMs, append([]float64(nil), c.LatMs...))
-		s.Shares = append(s.Shares, c.Shares())
+		s.LatMs[ti] = resizeFloats(s.LatMs[ti], len(c.LatMs))
+		copy(s.LatMs[ti], c.LatMs)
+		s.Shares[ti] = resizeFloats(s.Shares[ti], len(c.LatMs))
+		c.SharesInto(s.Shares[ti])
 		cp, _ := c.CriticalPathMs()
 		crit := e.p.Tasks[ti].CriticalMs
-		s.CriticalPathMs = append(s.CriticalPathMs, cp)
-		s.CriticalTimeMs = append(s.CriticalTimeMs, crit)
+		s.CriticalPathMs[ti] = cp
+		s.CriticalTimeMs[ti] = crit
 		if frac := (cp - crit) / crit; frac > s.MaxPathViolationFrac {
 			s.MaxPathViolationFrac = frac
 		}
 	}
-	return s
+}
+
+// Probe is the allocation-free convergence view of an iteration: the three
+// scalars RunUntilConverged's stopping rule needs, computed without the
+// deep copies a full Snapshot makes.
+type Probe struct {
+	// Iteration is the number of completed iterations.
+	Iteration int
+	// Utility is the aggregate utility Σ_i U_i.
+	Utility float64
+	// MaxResourceViolation matches Snapshot.MaxResourceViolation.
+	MaxResourceViolation float64
+	// MaxPathViolationFrac matches Snapshot.MaxPathViolationFrac.
+	MaxPathViolationFrac float64
+}
+
+// Probe computes the convergence scalars for the current state. The values
+// are bitwise-identical to the corresponding Snapshot fields (same
+// summation and max-scan order) at none of the allocation cost.
+func (e *Engine) Probe() Probe {
+	pr := Probe{Iteration: e.iter}
+	for ri := range e.agents {
+		over := e.shareSums[ri] - e.p.Resources[ri].Availability
+		if over > pr.MaxResourceViolation {
+			pr.MaxResourceViolation = over
+		}
+	}
+	for ti, c := range e.controllers {
+		pr.Utility += c.Utility()
+		cp, _ := c.CriticalPathMs()
+		crit := e.p.Tasks[ti].CriticalMs
+		if frac := (cp - crit) / crit; frac > pr.MaxPathViolationFrac {
+			pr.MaxPathViolationFrac = frac
+		}
+	}
+	return pr
+}
+
+// resizeFloats returns a slice of length n, reusing s's backing array when
+// it is large enough.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// resizeRows returns a row slice of length n, keeping existing rows so
+// their backing arrays stay reusable.
+func resizeRows(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		out := make([][]float64, n)
+		copy(out, s)
+		return out
+	}
+	return s[:n]
 }
 
 // Feasible reports whether no constraint is violated beyond tol.

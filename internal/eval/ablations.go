@@ -27,7 +27,7 @@ func AblationWeights(opts Options) (*Result, error) {
 		Header: []string{"variant", "converged", "iters", "utility", "max res viol", "max path viol"},
 	}
 	for _, mode := range []task.WeightMode{task.WeightSum, task.WeightPathNormalized, task.WeightPathRaw} {
-		e, err := core.NewEngine(workload.Base(), core.Config{WeightMode: mode})
+		e, err := core.NewEngine(workload.Base(), core.Config{WeightMode: mode, Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +71,7 @@ func AblationBaselines(opts Options) (*Result, error) {
 			Header: []string{"algorithm", "utility", "max res viol", "max path viol", "feasible"},
 		}
 
-		e, err := core.NewEngine(w, core.Config{})
+		e, err := core.NewEngine(w, core.Config{Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +130,7 @@ func Adaptation(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.NewEngine(w, core.Config{})
+	e, err := core.NewEngine(w, core.Config{Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}

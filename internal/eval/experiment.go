@@ -128,10 +128,14 @@ func downsampleAll(series []*stats.Series, n int) []*stats.Series {
 }
 
 // Options tunes experiment budgets; the zero value uses each experiment's
-// paper-faithful defaults. Quick shrinks budgets for unit tests.
+// paper-faithful defaults. Quick shrinks budgets for unit tests. Workers
+// sets the optimizer's shard count (0 = GOMAXPROCS, 1 = serial); the
+// engine's sharded iteration is bitwise-deterministic, so the artifacts are
+// identical for every setting — only wall-clock time changes.
 type Options struct {
-	Quick bool
-	Seed  int64
+	Quick   bool
+	Seed    int64
+	Workers int
 }
 
 // f1, f2, f3 are numeric cell formatters.

@@ -32,7 +32,7 @@ func Fig8(opts Options) (*Result, error) {
 
 	loop, err := closedloop.New(
 		workload.Prototype(),
-		core.Config{},
+		core.Config{Workers: opts.Workers},
 		sim.Config{Scheduler: sim.Quantum, QuantumMs: 5, Seed: opts.Seed + 1},
 		closedloop.Config{EpochMs: epochMs, Corrector: errcorr.Config{}},
 	)

@@ -8,6 +8,7 @@ package task
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Subtask is one stage of an end-to-end task. A subtask consumes exactly one
@@ -49,7 +50,11 @@ type Task struct {
 	// pred[i] lists the predecessor subtask indices of subtask i.
 	pred [][]int
 
-	// Lazily computed, invalidated by mutation.
+	// pathMu guards the lazily computed path cache: workloads share *Task
+	// pointers, and engines may be compiled from the same workload on
+	// different goroutines (e.g. standalone distributed nodes).
+	pathMu sync.Mutex
+	// Lazily computed under pathMu, invalidated by mutation.
 	paths   [][]int
 	pathsOK bool
 }
@@ -64,8 +69,15 @@ func (t *Task) AddSubtask(s Subtask) int {
 	t.Subtasks = append(t.Subtasks, s)
 	t.succ = append(t.succ, nil)
 	t.pred = append(t.pred, nil)
-	t.pathsOK = false
+	t.invalidatePaths()
 	return len(t.Subtasks) - 1
+}
+
+// invalidatePaths drops the memoized path enumeration after a mutation.
+func (t *Task) invalidatePaths() {
+	t.pathMu.Lock()
+	t.pathsOK = false
+	t.pathMu.Unlock()
 }
 
 // AddEdge records a precedence constraint: subtask from must complete before
@@ -85,7 +97,7 @@ func (t *Task) AddEdge(from, to int) error {
 	}
 	t.succ[from] = append(t.succ[from], to)
 	t.pred[to] = append(t.pred[to], from)
-	t.pathsOK = false
+	t.invalidatePaths()
 	return nil
 }
 
@@ -235,8 +247,11 @@ var ErrNoPaths = errors.New("task: no root-to-leaf paths")
 
 // Paths enumerates every root-to-leaf path as a slice of subtask indices.
 // Results are cached until the task is mutated. The caller must not modify
-// the returned slices.
+// the returned slices. Safe for concurrent callers as long as none mutates
+// the task.
 func (t *Task) Paths() ([][]int, error) {
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
 	if t.pathsOK {
 		return t.paths, nil
 	}

@@ -116,18 +116,30 @@ const (
 	Link = share.Link
 )
 
-// Engine is the synchronous LLA optimizer.
+// Engine is the synchronous LLA optimizer. Step fans the per-task
+// controller work across Config.Workers shards with a bitwise-deterministic
+// reduction, so any worker count produces identical trajectories; the
+// steady-state iteration is allocation-free. Call Close to release the
+// shard workers when discarding an engine early.
 type Engine = core.Engine
 
-// Config configures the optimizer (weight mode, step policy, ...).
+// Config configures the optimizer (weight mode, step policy, parallelism,
+// ...). Config.Workers selects the iteration's shard count: 0 = GOMAXPROCS,
+// 1 = fully serial.
 type Config = core.Config
 
 // StepPolicy configures price step sizes; Adaptive enables the paper's
 // congestion-doubling heuristic.
 type StepPolicy = core.StepPolicy
 
-// Snapshot is the optimizer's observable state after an iteration.
+// Snapshot is the optimizer's observable state after an iteration. Engines
+// also offer SnapshotInto (refill a reusable snapshot without allocating)
+// and Probe (just the convergence scalars) for per-iteration polling.
 type Snapshot = core.Snapshot
+
+// Probe is the allocation-free convergence view of an iteration: aggregate
+// utility and the maximum constraint violations, as Engine.Probe returns.
+type Probe = core.Probe
 
 // Workload is a complete problem instance: tasks, resources and utility
 // curves.
