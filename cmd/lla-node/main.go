@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"lla/internal/core"
 	"lla/internal/dist"
@@ -27,13 +30,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM stop the node gracefully: the protocol loop exits at
+	// its next receive, final state is flushed, and endpoints are closed. A
+	// second signal kills the process the default way.
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "lla-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("lla-node", flag.ContinueOnError)
 	workloadArg := fs.String("workload", "base", `workload: "base", "prototype", or a JSON file path`)
 	registryPath := fs.String("registry", "", "JSON file mapping logical node names to host:port")
@@ -65,7 +73,7 @@ func run(args []string) error {
 	}
 
 	if *demo {
-		return runDemo(w, *rounds)
+		return runDemo(ctx, w, *rounds)
 	}
 
 	if *registryPath == "" {
@@ -84,7 +92,7 @@ func run(args []string) error {
 	switch *role {
 	case "resource":
 		fmt.Fprintf(os.Stderr, "resource node %s: running %d rounds\n", *id, *rounds)
-		mu, err := dist.RunResource(w, core.Config{}, net, *id, *rounds)
+		mu, err := dist.RunResource(ctx, w, core.Config{}, net, *id, *rounds)
 		if err != nil {
 			return err
 		}
@@ -92,7 +100,7 @@ func run(args []string) error {
 		return nil
 	case "controller":
 		fmt.Fprintf(os.Stderr, "controller node %s: running %d rounds\n", *id, *rounds)
-		lats, utility, err := dist.RunController(w, core.Config{}, net, *id, *rounds)
+		lats, utility, err := dist.RunController(ctx, w, core.Config{}, net, *id, *rounds)
 		if err != nil {
 			return err
 		}
@@ -131,7 +139,7 @@ func loadWorkload(arg string) (*workload.Workload, error) {
 }
 
 // runDemo hosts the full deployment in one process over TCP loopback.
-func runDemo(w *workload.Workload, rounds int) error {
+func runDemo(ctx context.Context, w *workload.Workload, rounds int) error {
 	registry := make(map[string]string)
 	for _, addr := range dist.Addresses(w) {
 		registry[addr] = "127.0.0.1:0"
@@ -141,6 +149,17 @@ func runDemo(w *workload.Workload, rounds int) error {
 		return err
 	}
 	defer rt.Close()
+	// A signal mid-run drains the protocol gracefully and reports the state
+	// reached so far.
+	stopOnSignal := make(chan struct{})
+	defer close(stopOnSignal)
+	go func() {
+		select {
+		case <-ctx.Done():
+			rt.Shutdown()
+		case <-stopOnSignal:
+		}
+	}()
 	fmt.Fprintf(os.Stderr, "demo: %d tasks, %d resources, %d rounds over TCP loopback\n",
 		len(w.Tasks), len(w.Resources), rounds)
 	res, err := rt.RunUntilConverged(rounds, 1e-7, 20)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -16,7 +17,7 @@ func TestRunBadInputs(t *testing.T) {
 		{"-workload", "base"}, // no registry, no demo
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
 	}
@@ -29,7 +30,7 @@ func TestPrintRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run([]string{"-workload", "base", "-print-registry"})
+	runErr := run(context.Background(), []string{"-workload", "base", "-print-registry"})
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {
@@ -64,20 +65,20 @@ func TestDemoPrototype(t *testing.T) {
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
 
-	if err := run([]string{"-workload", "prototype", "-demo", "-rounds", "300"}); err != nil {
+	if err := run(context.Background(), []string{"-workload", "prototype", "-demo", "-rounds", "300"}); err != nil {
 		t.Fatalf("demo: %v", err)
 	}
 }
 
 func TestRegistryFileErrors(t *testing.T) {
-	if err := run([]string{"-workload", "base", "-registry", "/nonexistent.json", "-role", "resource", "-id", "r0"}); err == nil {
+	if err := run(context.Background(), []string{"-workload", "base", "-registry", "/nonexistent.json", "-role", "resource", "-id", "r0"}); err == nil {
 		t.Fatal("missing registry should fail")
 	}
 	bad := filepath.Join(t.TempDir(), "reg.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-workload", "base", "-registry", bad, "-role", "resource", "-id", "r0"}); err == nil {
+	if err := run(context.Background(), []string{"-workload", "base", "-registry", bad, "-role", "resource", "-id", "r0"}); err == nil {
 		t.Fatal("corrupt registry should fail")
 	}
 }

@@ -205,6 +205,53 @@ func (c *Controller) SharesInto(dst []float64) {
 	}
 }
 
+// ClampDeadlineSafe pulls the current latencies toward their lower bounds
+// until every path meets its critical-time constraint (Equation 4), and
+// returns the worst remaining relative violation — 0 unless the workload is
+// degenerate (a path's minimum latencies already exceed the critical time).
+// The distributed runtimes call it while operating on stale prices: a
+// degraded allocation may be suboptimal, but it must never break a deadline.
+// Shrinking a latency only lowers the sums of the other paths through the
+// same subtask, so a single pass over the paths suffices.
+func (c *Controller) ClampDeadlineSafe() float64 {
+	pt := &c.p.Tasks[c.ti]
+	for _, path := range pt.Paths {
+		sum, minSum := 0.0, 0.0
+		for _, s := range path {
+			sum += c.LatMs[s]
+			minSum += pt.LatMinMs[s]
+		}
+		if sum <= pt.CriticalMs {
+			continue
+		}
+		// Scale every subtask's slack above its floor by the common factor
+		// that lands the path exactly on the critical time.
+		f := 0.0
+		if sum > minSum {
+			f = (pt.CriticalMs - minSum) / (sum - minSum)
+		}
+		if f < 0 {
+			f = 0
+		}
+		for _, s := range path {
+			if nl := pt.LatMinMs[s] + (c.LatMs[s]-pt.LatMinMs[s])*f; nl < c.LatMs[s] {
+				c.LatMs[s] = nl
+			}
+		}
+	}
+	worst := 0.0
+	for _, path := range pt.Paths {
+		sum := 0.0
+		for _, s := range path {
+			sum += c.LatMs[s]
+		}
+		if v := (sum - pt.CriticalMs) / pt.CriticalMs; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
 // ResetPrices zeroes the path prices and resets their step sizers; used
 // after structural workload changes.
 func (c *Controller) ResetPrices() {

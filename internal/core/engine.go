@@ -44,8 +44,10 @@ type Config struct {
 	Workers int
 }
 
-// withDefaults fills unset fields.
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with every unset field filled with the
+// paper's default. Exported so the other runtimes (internal/dist) share this
+// single source of truth instead of mirroring the defaults.
+func (c Config) WithDefaults() Config {
 	if c.WeightMode == 0 {
 		c.WeightMode = task.WeightPathNormalized
 	}
@@ -99,7 +101,7 @@ type Engine struct {
 // NewEngine compiles the workload and builds controllers and resource
 // agents.
 func NewEngine(w *workload.Workload, cfg Config) (*Engine, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	p, err := Compile(w, cfg.WeightMode)
 	if err != nil {
 		return nil, err

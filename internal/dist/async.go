@@ -18,6 +18,19 @@ import (
 // exchange messages continuously rather than in lockstep. The synchronized
 // Runtime remains the reference for exact engine equivalence; Async trades
 // determinism for decoupling.
+//
+// Fault tolerance: every message carries a per-sender monotonic sequence
+// number, and receivers reject duplicates and reordered-stale deliveries.
+// Each node rebroadcasts its current state whenever it has been idle for
+// FaultPolicy.RetransmitAfter — that rebroadcast is simultaneously the
+// heartbeat that feeds failure detection and the recovery path for lost
+// messages. Controllers track a lease per resource they use: when a resource
+// stays silent past FaultPolicy.LeaseAfter it is marked degraded — its
+// last-known price is frozen, and every allocation computed while any used
+// resource is degraded is clamped deadline-safe (core.ClampDeadlineSafe), so
+// stale prices can make the assignment suboptimal but never break a
+// critical-time constraint. A fresh price from the resource ends the
+// degradation and resynchronizes automatically.
 
 // AsyncResult summarizes an asynchronous run.
 type AsyncResult struct {
@@ -30,20 +43,40 @@ type AsyncResult struct {
 	// ControllerSteps and ResourceSteps count compute steps across nodes.
 	ControllerSteps int
 	ResourceSteps   int
+	// Retransmits counts idle-heartbeat rebroadcasts across all nodes.
+	Retransmits int64
+	// RejectedStale counts deliveries rejected by sequence-number dedup
+	// (duplicates and reordered-stale messages).
+	RejectedStale int64
+	// DegradedRounds counts controller compute steps taken while at least
+	// one used resource's lease had expired.
+	DegradedRounds int64
+	// MaxDegradedPathViolation is the worst relative critical-time violation
+	// left after deadline-safe clamping across all degraded steps — 0 unless
+	// the workload itself is degenerate.
+	MaxDegradedPathViolation float64
 }
 
 // RunAsync executes the asynchronous protocol for the given wall-clock
-// duration over the network, then quiesces and returns the final state.
-// pace is the minimum interval between a node's compute steps (0 = 1ms):
-// it bounds each node's update rate so that no controller/resource pair can
-// spin thousands of iterations ahead of a lagging peer — unbounded relative
-// staleness destabilizes the gradient updates. On a real network the
-// round-trip time provides this pacing for free.
+// duration over the network with the default fault policy, then quiesces and
+// returns the final state. pace is the minimum interval between a node's
+// compute steps (0 = 1ms): it bounds each node's update rate so that no
+// controller/resource pair can spin thousands of iterations ahead of a
+// lagging peer — unbounded relative staleness destabilizes the gradient
+// updates. On a real network the round-trip time provides this pacing for
+// free.
 func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, pace time.Duration) (*AsyncResult, error) {
+	return RunAsyncWithPolicy(w, cfg, net, d, pace, DefaultFaultPolicy())
+}
+
+// RunAsyncWithPolicy is RunAsync with an explicit fault policy (heartbeat
+// interval and failure-detection lease).
+func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Network, d, pace time.Duration, fp FaultPolicy) (*AsyncResult, error) {
 	if pace <= 0 {
 		pace = time.Millisecond
 	}
-	cfg = fillConfig(cfg)
+	fp = fp.withDefaults()
+	cfg = cfg.WithDefaults()
 	p, err := core.Compile(w, cfg.WeightMode)
 	if err != nil {
 		return nil, err
@@ -96,11 +129,28 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 
 	stop := make(chan struct{})
 	res := &AsyncResult{}
-	var mu sync.Mutex // guards the step counters
+	var mu sync.Mutex // guards the shared counters in res
 	var wg sync.WaitGroup
 
+	// fresh returns whether a message passes per-sender sequence dedup.
+	// Seq 0 (a sender without the reliability layer) is always accepted.
+	fresh := func(lastSeq map[string]int64, from string, seq int64) bool {
+		if seq == 0 {
+			return true
+		}
+		if seq <= lastSeq[from] {
+			mu.Lock()
+			res.RejectedStale++
+			mu.Unlock()
+			return false
+		}
+		lastSeq[from] = seq
+		return true
+	}
+
 	// Resource nodes: maintain the latest latency of each local subtask
-	// (fair-split default until reported), reprice on every message batch.
+	// (fair-split default until reported), reprice on every message batch,
+	// and heartbeat the current price while idle.
 	for _, n := range ress {
 		wg.Add(1)
 		go func(n *resNode) {
@@ -112,14 +162,12 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 				fair := r.Availability / float64(len(r.Subs))
 				lat[sub] = p.Tasks[ti].Share[si].LatencyFor(fair)
 			}
-			broadcast := func() {
-				sum := 0.0
-				for _, sub := range r.Subs {
-					ti, si := sub[0], sub[1]
-					sum += p.Tasks[ti].Share[si].Share(lat[sub])
-				}
-				n.agent.UpdatePrice(sum)
-				msg := priceMsg{Resource: r.ID, Mu: n.agent.Mu, Congested: n.agent.Congested(sum)}
+			lastSeq := make(map[string]int64)
+			var seq int64
+			lastSent := time.Now()
+			// publish recomputes the price from current latencies and
+			// multicasts it; heartbeat re-sends the last price unchanged.
+			send := func(msg priceMsg) {
 				seen := make(map[string]bool)
 				for _, sub := range r.Subs {
 					tn := p.Tasks[sub[0]].Name
@@ -128,6 +176,19 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 						_ = n.ep.Send(controllerAddr(tn), kindPrice, msg)
 					}
 				}
+				lastSent = time.Now()
+			}
+			var lastMsg priceMsg
+			publish := func() {
+				sum := 0.0
+				for _, sub := range r.Subs {
+					ti, si := sub[0], sub[1]
+					sum += p.Tasks[ti].Share[si].Share(lat[sub])
+				}
+				n.agent.UpdatePrice(sum)
+				seq++
+				lastMsg = priceMsg{Seq: seq, Resource: r.ID, Mu: n.agent.Mu, Congested: n.agent.Congested(sum)}
+				send(lastMsg)
 				mu.Lock()
 				res.ResourceSteps++
 				mu.Unlock()
@@ -140,13 +201,22 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 				if err := m.Decode(&lm); err != nil {
 					return
 				}
+				if !fresh(lastSeq, m.From, lm.Seq) {
+					return
+				}
 				for sn, v := range lm.LatMs {
 					if sub, ok2 := subIndex(p, lm.Task, sn); ok2 {
 						lat[sub] = v
 					}
 				}
 			}
-			broadcast() // seed the loop
+			var tick <-chan time.Time
+			if fp.RetransmitAfter > 0 {
+				t := time.NewTicker(fp.RetransmitAfter)
+				defer t.Stop()
+				tick = t.C
+			}
+			publish() // seed the loop
 			for {
 				// Block for one message, then drain everything pending so
 				// a burst coalesces into a single recompute+broadcast —
@@ -159,6 +229,19 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 						return
 					}
 					handle(m)
+				case <-tick:
+					// Idle heartbeat: re-advertise the current price with a
+					// fresh sequence number so controllers can both detect
+					// liveness and recover a lost broadcast.
+					if time.Since(lastSent) >= fp.RetransmitAfter {
+						seq++
+						lastMsg.Seq = seq
+						send(lastMsg)
+						mu.Lock()
+						res.Retransmits++
+						mu.Unlock()
+					}
+					continue
 				case <-stop:
 					return
 				}
@@ -174,14 +257,15 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 						break drainRes
 					}
 				}
-				broadcast()
+				publish()
 				time.Sleep(pace)
 			}
 		}(n)
 	}
 
 	// Controller nodes: fold in whatever prices arrived, reallocate and
-	// publish.
+	// publish; track a lease per used resource and degrade to deadline-safe
+	// allocations while a resource is silent.
 	for _, n := range ctls {
 		wg.Add(1)
 		go func(n *ctlNode) {
@@ -191,10 +275,57 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 				muVec[ri] = cfg.InitialMu
 			}
 			congested := make([]bool, len(p.Resources))
+			pt := &p.Tasks[n.ti]
+			used := make([]int, 0, len(pt.Res))
+			seenRes := make(map[int]bool)
+			for _, ri := range pt.Res {
+				if !seenRes[ri] {
+					seenRes[ri] = true
+					used = append(used, ri)
+				}
+			}
+			lastHeard := make(map[int]time.Time, len(used))
+			degraded := make(map[int]bool, len(used))
+			for _, ri := range used {
+				lastHeard[ri] = time.Now()
+			}
+			lastSeq := make(map[string]int64)
+			var seq int64
+			lastSent := time.Now()
+			// outLat pairs a latency message with its destination resource so
+			// heartbeats can re-send the whole last batch.
+			type outLat struct {
+				resID string
+				msg   latencyMsg
+			}
+			var lastOut []outLat
+			send := func(msgs []outLat) {
+				for _, o := range msgs {
+					_ = n.ep.Send(resourceAddr(o.resID), kindLatency, o.msg)
+				}
+				lastSent = time.Now()
+			}
 			publish := func() {
 				n.ctl.UpdatePathPrices(congested)
 				n.ctl.AllocateLatencies(muVec)
-				pt := &p.Tasks[n.ti]
+				anyDegraded := false
+				for _, ri := range used {
+					if degraded[ri] {
+						anyDegraded = true
+						break
+					}
+				}
+				if anyDegraded {
+					// Operating on a frozen (stale) price: the allocation may
+					// be off-optimum, but it must never break a deadline.
+					v := n.ctl.ClampDeadlineSafe()
+					mu.Lock()
+					res.DegradedRounds++
+					if v > res.MaxDegradedPathViolation {
+						res.MaxDegradedPathViolation = v
+					}
+					mu.Unlock()
+				}
 				byRes := make(map[int]map[string]float64)
 				for si, ri := range pt.Res {
 					if byRes[ri] == nil {
@@ -202,10 +333,15 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 					}
 					byRes[ri][pt.SubtaskNames[si]] = n.ctl.LatMs[si]
 				}
+				seq++
+				lastOut = lastOut[:0]
 				for ri, lats := range byRes {
-					_ = n.ep.Send(resourceAddr(p.Resources[ri].ID), kindLatency,
-						latencyMsg{Task: pt.Name, LatMs: lats})
+					lastOut = append(lastOut, outLat{
+						resID: p.Resources[ri].ID,
+						msg:   latencyMsg{Seq: seq, Task: pt.Name, LatMs: lats},
+					})
 				}
+				send(lastOut)
 				mu.Lock()
 				res.ControllerSteps++
 				mu.Unlock()
@@ -218,21 +354,60 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 				if err := m.Decode(&pm); err != nil {
 					return
 				}
+				if !fresh(lastSeq, m.From, pm.Seq) {
+					return
+				}
 				for ri := range p.Resources {
 					if p.Resources[ri].ID == pm.Resource {
 						muVec[ri] = pm.Mu
 						congested[ri] = pm.Congested
+						// A fresh price resynchronizes a degraded resource.
+						lastHeard[ri] = time.Now()
+						degraded[ri] = false
 						break
 					}
 				}
 			}
+			var tick <-chan time.Time
+			if fp.RetransmitAfter > 0 {
+				t := time.NewTicker(fp.RetransmitAfter)
+				defer t.Stop()
+				tick = t.C
+			}
 			for {
+				recompute := false
 				select {
 				case m, ok := <-n.ep.Recv():
 					if !ok {
 						return
 					}
 					handle(m)
+					recompute = true
+				case <-tick:
+					if fp.LeaseAfter > 0 {
+						now := time.Now()
+						for _, ri := range used {
+							if !degraded[ri] && now.Sub(lastHeard[ri]) > fp.LeaseAfter {
+								degraded[ri] = true
+								recompute = true // re-clamp on frozen prices
+							}
+						}
+					}
+					// Idle heartbeat: re-send the last latencies so silent
+					// resources can recover and observe our liveness.
+					if lastOut != nil && time.Since(lastSent) >= fp.RetransmitAfter {
+						seq++
+						for i := range lastOut {
+							lastOut[i].msg.Seq = seq
+						}
+						send(lastOut)
+						mu.Lock()
+						res.Retransmits++
+						mu.Unlock()
+					}
+					if !recompute {
+						continue
+					}
 				case <-stop:
 					return
 				}

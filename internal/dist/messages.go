@@ -9,18 +9,24 @@ package dist
 
 // priceMsg is sent by a resource node to every controller with a subtask on
 // the resource: the resource price and the congestion flag that drives the
-// adaptive path-step heuristic.
+// adaptive path-step heuristic. Seq is a per-sender monotonic sequence number
+// used by the asynchronous protocol to reject duplicated and reordered-stale
+// deliveries; the round-synchronized protocol leaves it zero (round gating
+// already makes folds idempotent there).
 type priceMsg struct {
 	Round     int     `json:"round"`
+	Seq       int64   `json:"seq,omitempty"`
 	Resource  string  `json:"resource"`
 	Mu        float64 `json:"mu"`
 	Congested bool    `json:"congested"`
 }
 
 // latencyMsg is sent by a controller to a resource node: the newly allocated
-// latencies of the controller's subtasks hosted on that resource.
+// latencies of the controller's subtasks hosted on that resource. Seq works
+// like priceMsg.Seq.
 type latencyMsg struct {
 	Round int                `json:"round"`
+	Seq   int64              `json:"seq,omitempty"`
 	Task  string             `json:"task"`
 	LatMs map[string]float64 `json:"latMs"`
 }
@@ -38,12 +44,22 @@ type stopMsg struct {
 	AfterRound int `json:"afterRound"`
 }
 
+// finMsg is sent by a resource node to its controllers when it has completed
+// its final round. Controllers linger after their last allocation, answering
+// retransmitted prices, until every resource has finned (or a quiet timeout
+// elapses): without this tail handshake, a lost final-round latency message
+// would strand the resource with no sender left to recover it.
+type finMsg struct {
+	Resource string `json:"resource"`
+}
+
 // Message kind tags.
 const (
 	kindPrice   = "price"
 	kindLatency = "latency"
 	kindReport  = "report"
 	kindStop    = "stop"
+	kindFin     = "fin"
 )
 
 // Address helpers: resources and controllers get deterministic names.

@@ -2,10 +2,28 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"lla/internal/core"
 	"lla/internal/transport"
 )
+
+// Reliable round protocol. The synchronized protocol survives message loss,
+// duplication, and reordering without acknowledgements because its folds are
+// idempotent and each round gates on content-completeness, not delivery
+// order. Two mechanisms recover lost messages:
+//
+//   - Sender-side: a node stalled waiting for its current round's inputs
+//     re-sends its last output after RetransmitAfter, backing off
+//     exponentially (with jitter) up to RetransmitMax.
+//   - Receiver-side: a message from a past round means its sender missed our
+//     latest output, so we re-send the cached counterpart directly to that
+//     peer (and count the rejection).
+//
+// Round numbering keeps recovery well-founded: a controller is never more
+// than one round ahead of any resource it uses, and never behind one, so the
+// cached message is always exactly what the stuck peer is waiting for. The
+// recovered run is bitwise identical to a loss-free run.
 
 // resourceNode hosts one resource's price agent (Section 4.3). Each round it
 // gathers the fresh latencies of every subtask on the resource, updates the
@@ -19,10 +37,22 @@ type resourceNode struct {
 	ep    transport.Endpoint
 	// controllers are the task names with subtasks on this resource.
 	controllers []string
+	ctlSet      map[string]bool
 	// latNames maps (task name, subtask name) to (ti, si).
 	subIdx map[string][2]int
 	// lat holds the latest latency of each subtask on this resource.
 	lat map[[2]int]float64
+
+	// fp and stop are installed by the runtime before run.
+	fp   FaultPolicy
+	stop <-chan struct{}
+	// lastPrice caches the latest broadcast for retransmission and stale
+	// recovery.
+	lastPrice priceMsg
+	// retransmits and rejectedStale count fault-recovery events; read by the
+	// runtime after the node goroutine joins.
+	retransmits   int64
+	rejectedStale int64
 }
 
 // newResourceNode wires a resource agent to an endpoint.
@@ -32,15 +62,15 @@ func newResourceNode(p *core.Problem, ri int, agent *core.ResourceAgent, ep tran
 		ri:     ri,
 		agent:  agent,
 		ep:     ep,
+		ctlSet: make(map[string]bool),
 		subIdx: make(map[string][2]int),
 		lat:    make(map[[2]int]float64),
 	}
-	seen := make(map[string]bool)
 	for _, sub := range p.Resources[ri].Subs {
 		ti, si := sub[0], sub[1]
 		tn := p.Tasks[ti].Name
-		if !seen[tn] {
-			seen[tn] = true
+		if !n.ctlSet[tn] {
+			n.ctlSet[tn] = true
 			n.controllers = append(n.controllers, tn)
 		}
 		n.subIdx[tn+"/"+p.Tasks[ti].SubtaskNames[si]] = sub
@@ -48,7 +78,8 @@ func newResourceNode(p *core.Problem, ri int, agent *core.ResourceAgent, ep tran
 	return n
 }
 
-// broadcastPrice sends the current price to every interested controller.
+// broadcastPrice sends the current price to every interested controller and
+// caches it for retransmission.
 func (n *resourceNode) broadcastPrice(round int, congested bool) error {
 	msg := priceMsg{
 		Round:     round,
@@ -56,6 +87,7 @@ func (n *resourceNode) broadcastPrice(round int, congested bool) error {
 		Mu:        n.agent.Mu,
 		Congested: congested,
 	}
+	n.lastPrice = msg
 	for _, tn := range n.controllers {
 		if err := n.ep.Send(controllerAddr(tn), kindPrice, msg); err != nil {
 			return fmt.Errorf("dist: resource %s: %w", n.p.Resources[n.ri].ID, err)
@@ -64,29 +96,99 @@ func (n *resourceNode) broadcastPrice(round int, congested bool) error {
 	return nil
 }
 
-// run executes the node until maxRounds latency rounds are processed or a
-// stop message lowers the limit. It returns the first protocol error.
+// rebroadcast re-sends the cached price to the controllers whose latencies
+// for the current round are still missing.
+func (n *resourceNode) rebroadcast(got map[string]bool) error {
+	for _, tn := range n.controllers {
+		if got[tn] {
+			continue
+		}
+		n.retransmits++
+		if err := n.ep.Send(controllerAddr(tn), kindPrice, n.lastPrice); err != nil {
+			return fmt.Errorf("dist: resource %s: %w", n.p.Resources[n.ri].ID, err)
+		}
+	}
+	return nil
+}
+
+// recv blocks for the next message, a retransmission timeout (attempt sizes
+// the backoff), or a stop request. timedOut distinguishes the timeout case;
+// stopped reports a graceful-stop request.
+func recv(ep transport.Endpoint, stop <-chan struct{}, fp FaultPolicy, attempt int) (m transport.Message, ok, timedOut, stopped bool) {
+	if fp.RetransmitAfter <= 0 {
+		select {
+		case m, ok = <-ep.Recv():
+			return m, ok, false, false
+		case <-stop:
+			return m, false, false, true
+		}
+	}
+	timer := time.NewTimer(transport.Backoff(attempt, fp.RetransmitAfter, fp.RetransmitMax))
+	defer timer.Stop()
+	select {
+	case m, ok = <-ep.Recv():
+		return m, ok, false, false
+	case <-timer.C:
+		return m, false, true, false
+	case <-stop:
+		return m, false, false, true
+	}
+}
+
+// run executes the node until maxRounds latency rounds are processed, a stop
+// message lowers the limit, or the runtime requests a shutdown. It returns
+// the first protocol error.
 func (n *resourceNode) run(maxRounds int) error {
 	if err := n.broadcastPrice(0, false); err != nil {
 		return err
 	}
 	limit := maxRounds
 	round := 0
+	attempt := 0
 	// pending buffers latency messages by round (delayed transports may
 	// reorder across rounds).
 	pending := make(map[int][]latencyMsg)
 	got := make(map[string]bool)
 
 	for round < limit {
-		m, ok := <-n.ep.Recv()
+		m, ok, timedOut, stopped := recv(n.ep, n.stop, n.fp, attempt)
+		if stopped {
+			return nil
+		}
+		if timedOut {
+			// Stalled: a controller missed our price, or its latencies were
+			// lost. Nudge the silent ones with the cached price.
+			attempt++
+			if err := n.rebroadcast(got); err != nil {
+				return err
+			}
+			continue
+		}
 		if !ok {
+			if stopRequested(n.stop) {
+				return nil
+			}
 			return fmt.Errorf("dist: resource %s: endpoint closed mid-protocol", n.p.Resources[n.ri].ID)
 		}
+		attempt = 0
 		switch m.Kind {
 		case kindLatency:
 			var lm latencyMsg
 			if err := m.Decode(&lm); err != nil {
 				return err
+			}
+			if lm.Round < round {
+				// Stale: that controller has not seen our current price
+				// (lost, or this is a duplicate delivery). Re-send it
+				// directly; the fold it triggers is idempotent.
+				n.rejectedStale++
+				if n.ctlSet[lm.Task] {
+					n.retransmits++
+					if err := n.ep.Send(controllerAddr(lm.Task), kindPrice, n.lastPrice); err != nil {
+						return fmt.Errorf("dist: resource %s: %w", n.p.Resources[n.ri].ID, err)
+					}
+				}
+				continue
 			}
 			pending[lm.Round] = append(pending[lm.Round], lm)
 		case kindStop:
@@ -133,6 +235,27 @@ func (n *resourceNode) run(maxRounds int) error {
 			}
 		}
 	}
+	return n.sendFins()
+}
+
+// sendFins tells the controllers this resource has completed its final round
+// so they can stop lingering on its behalf. The fin is repeated a few times
+// when fault tolerance is on (it is the one message with no sender left to
+// retransmit it); a surviving copy short-circuits the controller's quiet
+// timeout, and losing all copies only costs that timeout.
+func (n *resourceNode) sendFins() error {
+	copies := 1
+	if n.fp.RetransmitAfter > 0 {
+		copies = 3
+	}
+	msg := finMsg{Resource: n.p.Resources[n.ri].ID}
+	for i := 0; i < copies; i++ {
+		for _, tn := range n.controllers {
+			if err := n.ep.Send(controllerAddr(tn), kindFin, msg); err != nil {
+				return fmt.Errorf("dist: resource %s: %w", n.p.Resources[n.ri].ID, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -146,15 +269,40 @@ type controllerNode struct {
 	ep   transport.Endpoint
 	res  []int // distinct resource indices used by the task
 	name string
+	// resByID resolves a price message's resource ID to its index.
+	resByID map[string]int
 	// reports controls whether per-round utility reports are sent to the
 	// coordinator; standalone deployments have no coordinator and disable
 	// them.
 	reports bool
+
+	// fp and stop are installed by the runtime before run.
+	fp   FaultPolicy
+	stop <-chan struct{}
+	// lastLat caches the latest latency message per resource for
+	// retransmission and stale recovery.
+	lastLat map[int]latencyMsg
+	// retransmits and rejectedStale count fault-recovery events; read by the
+	// runtime after the node goroutine joins.
+	retransmits   int64
+	rejectedStale int64
 }
 
 // newControllerNode wires a task controller to an endpoint.
 func newControllerNode(p *core.Problem, ti int, ctl *core.Controller, ep transport.Endpoint) *controllerNode {
-	n := &controllerNode{p: p, ti: ti, ctl: ctl, ep: ep, name: p.Tasks[ti].Name, reports: true}
+	n := &controllerNode{
+		p:       p,
+		ti:      ti,
+		ctl:     ctl,
+		ep:      ep,
+		name:    p.Tasks[ti].Name,
+		resByID: make(map[string]int, len(p.Resources)),
+		reports: true,
+		lastLat: make(map[int]latencyMsg),
+	}
+	for ri := range p.Resources {
+		n.resByID[p.Resources[ri].ID] = ri
+	}
 	seen := make(map[int]bool)
 	for _, ri := range p.Tasks[ti].Res {
 		if !seen[ri] {
@@ -166,7 +314,8 @@ func newControllerNode(p *core.Problem, ti int, ctl *core.Controller, ep transpo
 }
 
 // sendLatencies distributes the freshly allocated latencies, grouped per
-// resource, and reports utility to the coordinator.
+// resource, caches them for retransmission, and reports utility to the
+// coordinator.
 func (n *controllerNode) sendLatencies(round int) error {
 	pt := &n.p.Tasks[n.ti]
 	byRes := make(map[int]map[string]float64, len(n.res))
@@ -180,6 +329,7 @@ func (n *controllerNode) sendLatencies(round int) error {
 	}
 	for ri, lats := range byRes {
 		msg := latencyMsg{Round: round, Task: n.name, LatMs: lats}
+		n.lastLat[ri] = msg
 		if err := n.ep.Send(resourceAddr(n.p.Resources[ri].ID), kindLatency, msg); err != nil {
 			return fmt.Errorf("dist: controller %s: %w", n.name, err)
 		}
@@ -194,26 +344,75 @@ func (n *controllerNode) sendLatencies(round int) error {
 	})
 }
 
-// run executes the controller until maxRounds allocations are done or a
-// stop message lowers the limit.
+// rebroadcast re-sends the cached latencies to the resources whose prices
+// for the current round are still missing. Before the first allocation there
+// is nothing to re-send; the resources' own retransmission covers round 0.
+func (n *controllerNode) rebroadcast(got map[string]bool) error {
+	for _, ri := range n.res {
+		if got[n.p.Resources[ri].ID] {
+			continue
+		}
+		msg, ok := n.lastLat[ri]
+		if !ok {
+			continue
+		}
+		n.retransmits++
+		if err := n.ep.Send(resourceAddr(n.p.Resources[ri].ID), kindLatency, msg); err != nil {
+			return fmt.Errorf("dist: controller %s: %w", n.name, err)
+		}
+	}
+	return nil
+}
+
+// run executes the controller until maxRounds allocations are done, a stop
+// message lowers the limit, or the runtime requests a shutdown.
 func (n *controllerNode) run(maxRounds int) error {
 	limit := maxRounds
 	round := 0
+	attempt := 0
 	mu := make([]float64, len(n.p.Resources))
 	congested := make([]bool, len(n.p.Resources))
 	pending := make(map[int][]priceMsg)
 	got := make(map[string]bool)
 
 	for round < limit {
-		m, ok := <-n.ep.Recv()
+		m, ok, timedOut, stopped := recv(n.ep, n.stop, n.fp, attempt)
+		if stopped {
+			return nil
+		}
+		if timedOut {
+			attempt++
+			if err := n.rebroadcast(got); err != nil {
+				return err
+			}
+			continue
+		}
 		if !ok {
+			if stopRequested(n.stop) {
+				return nil
+			}
 			return fmt.Errorf("dist: controller %s: endpoint closed mid-protocol", n.name)
 		}
+		attempt = 0
 		switch m.Kind {
 		case kindPrice:
 			var pm priceMsg
 			if err := m.Decode(&pm); err != nil {
 				return err
+			}
+			if pm.Round < round {
+				// Stale: the resource has not seen our latest latencies.
+				// Re-send the cached message for that resource directly.
+				n.rejectedStale++
+				if ri, ok := n.resByID[pm.Resource]; ok {
+					if msg, ok := n.lastLat[ri]; ok {
+						n.retransmits++
+						if err := n.ep.Send(resourceAddr(pm.Resource), kindLatency, msg); err != nil {
+							return fmt.Errorf("dist: controller %s: %w", n.name, err)
+						}
+					}
+				}
+				continue
 			}
 			pending[pm.Round] = append(pending[pm.Round], pm)
 		case kindStop:
@@ -225,19 +424,16 @@ func (n *controllerNode) run(maxRounds int) error {
 				limit = sm.AfterRound
 			}
 			continue
+		case kindFin:
+			// A straggler fin from an earlier run on the same endpoints.
+			continue
 		default:
 			return fmt.Errorf("dist: controller %s: unexpected message kind %q", n.name, m.Kind)
 		}
 
 		for _, pm := range pending[round] {
-			ri := -1
-			for i := range n.p.Resources {
-				if n.p.Resources[i].ID == pm.Resource {
-					ri = i
-					break
-				}
-			}
-			if ri < 0 {
+			ri, ok := n.resByID[pm.Resource]
+			if !ok {
 				return fmt.Errorf("dist: controller %s: unknown resource %q", n.name, pm.Resource)
 			}
 			mu[ri] = pm.Mu
@@ -257,6 +453,63 @@ func (n *controllerNode) run(maxRounds int) error {
 		}
 		round++
 		got = make(map[string]bool)
+	}
+	return n.linger()
+}
+
+// linger keeps the controller responsive after its final allocation: a
+// resource whose final-round latencies were lost retransmits its price, and
+// nobody but this controller can answer. The controller re-sends the cached
+// latencies until every resource has sent its fin, or until the network has
+// been quiet long enough that any live resource would have retried
+// (retransmission gaps are capped at RetransmitMax).
+func (n *controllerNode) linger() error {
+	if n.fp.RetransmitAfter <= 0 {
+		return nil
+	}
+	window := n.fp.RetransmitMax
+	if window < n.fp.RetransmitAfter {
+		window = n.fp.RetransmitAfter
+	}
+	finned := make(map[string]bool)
+	quiet := 0
+	for quiet < 6 && len(finned) < len(n.res) {
+		timer := time.NewTimer(window)
+		select {
+		case m, ok := <-n.ep.Recv():
+			timer.Stop()
+			if !ok {
+				return nil
+			}
+			switch m.Kind {
+			case kindFin:
+				var fm finMsg
+				if err := m.Decode(&fm); err == nil {
+					finned[fm.Resource] = true
+				}
+			case kindPrice:
+				var pm priceMsg
+				if err := m.Decode(&pm); err != nil {
+					continue
+				}
+				// The resource is stalled on our final latencies: recover it.
+				n.rejectedStale++
+				quiet = 0
+				if ri, ok := n.resByID[pm.Resource]; ok {
+					if msg, ok := n.lastLat[ri]; ok {
+						n.retransmits++
+						if err := n.ep.Send(resourceAddr(pm.Resource), kindLatency, msg); err != nil {
+							return fmt.Errorf("dist: controller %s: %w", n.name, err)
+						}
+					}
+				}
+			}
+		case <-timer.C:
+			quiet++
+		case <-n.stop:
+			timer.Stop()
+			return nil
+		}
 	}
 	return nil
 }

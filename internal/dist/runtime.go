@@ -3,18 +3,17 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"lla/internal/core"
-	"lla/internal/price"
 	"lla/internal/stats"
-	"lla/internal/task"
 	"lla/internal/transport"
 	"lla/internal/workload"
 )
 
 // Runtime assembles and drives a distributed LLA deployment: one resource
 // node per resource, one controller node per task, and a coordinator that
-// aggregates per-round utility reports.
+// aggregates per-round utility reports and watches per-task report leases.
 type Runtime struct {
 	p           *core.Problem
 	cfg         core.Config
@@ -24,24 +23,27 @@ type Runtime struct {
 	ctlNodes    []*controllerNode
 	resNodes    []*resourceNode
 	coordinator transport.Endpoint
+
+	fp       FaultPolicy
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 // New compiles the workload and registers all endpoints on the network.
 func New(w *workload.Workload, cfg core.Config, net transport.Network) (*Runtime, error) {
-	cfg = fillConfig(cfg)
+	cfg = cfg.WithDefaults()
 	p, err := core.Compile(w, cfg.WeightMode)
 	if err != nil {
 		return nil, err
 	}
-	r := &Runtime{p: p, cfg: cfg, net: net}
-	newStep := func() price.StepSizer {
-		if cfg.Step.Adaptive {
-			a := price.NewAdaptive(cfg.Step.Gamma)
-			a.Max = cfg.Step.Max
-			return a
-		}
-		return &price.Fixed{Value: cfg.Step.Gamma}
+	r := &Runtime{
+		p:    p,
+		cfg:  cfg,
+		net:  net,
+		fp:   DefaultFaultPolicy(),
+		stop: make(chan struct{}),
 	}
+	newStep := newStepFactory(cfg)
 
 	r.coordinator, err = net.Endpoint(coordinatorAddr)
 	if err != nil {
@@ -68,31 +70,29 @@ func New(w *workload.Workload, cfg core.Config, net transport.Network) (*Runtime
 	return r, nil
 }
 
-// fillConfig mirrors core.Config defaults (kept in sync with
-// core.Config.withDefaults, which is unexported).
-func fillConfig(c core.Config) core.Config {
-	if c.WeightMode == 0 {
-		c.WeightMode = task.WeightPathNormalized
-	}
-	if c.Step.Gamma == 0 {
-		c.Step = core.StepPolicy{Adaptive: true, Gamma: 1}
-	}
-	if c.InitialMu == 0 {
-		c.InitialMu = 1
-	}
-	if c.MaxInner == 0 {
-		c.MaxInner = 30
-	}
-	return c
+// SetFaultPolicy overrides the fault-tolerance policy (retransmission timers
+// and report leases). Call before Run; the zero policy disables
+// retransmission and lease tracking entirely, which is only safe on
+// loss-free networks.
+func (r *Runtime) SetFaultPolicy(fp FaultPolicy) { r.fp = fp.withDefaults() }
+
+// Shutdown asks all nodes to stop gracefully at their next receive: node
+// goroutines return without error, Run joins them and returns the state
+// reached so far. Safe to call concurrently with Run and more than once.
+func (r *Runtime) Shutdown() {
+	r.stopOnce.Do(func() { close(r.stop) })
 }
 
 // Result summarizes a distributed run.
 type Result struct {
-	// Rounds is the number of completed allocation rounds.
+	// Rounds is the number of rounds the coordinator saw completed reports
+	// for. Reports are best-effort under loss, so this may trail the rounds
+	// the protocol actually completed.
 	Rounds int
-	// Utility is the final aggregate utility.
+	// Utility is the final aggregate utility, computed from the controllers'
+	// final state (robust to lost coordinator reports).
 	Utility float64
-	// UtilitySeries records the aggregate utility per round.
+	// UtilitySeries records the aggregate utility per fully reported round.
 	UtilitySeries *stats.Series
 	// LatMs[ti][si] are the final latencies.
 	LatMs [][]float64
@@ -101,11 +101,20 @@ type Result struct {
 	// Converged reports whether a convergence stop fired (RunUntilConverged
 	// only).
 	Converged bool
+	// Retransmits counts messages re-sent by the reliability layer
+	// (sender-side timeouts plus receiver-side stale recovery).
+	Retransmits int64
+	// RejectedStale counts received messages from already-completed rounds.
+	RejectedStale int64
+	// LeaseExpirations counts coordinator-observed report leases expiring: a
+	// controller stayed silent longer than FaultPolicy.LeaseAfter.
+	LeaseExpirations int64
 }
 
 // Run executes exactly rounds synchronous rounds and returns the final
 // state. A loss-free in-order network makes the result identical to
-// core.Engine after the same number of Steps.
+// core.Engine after the same number of Steps; on lossy networks the
+// reliability layer (see nodes.go) recovers the same result bitwise.
 func (r *Runtime) Run(rounds int) (*Result, error) {
 	return r.run(rounds, nil)
 }
@@ -126,6 +135,7 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(r.ctlNodes)*2+len(r.resNodes)*2+8)
 	for _, n := range r.resNodes {
+		n.fp, n.stop = r.fp, r.stop
 		wg.Add(1)
 		go func(n *resourceNode) {
 			defer wg.Done()
@@ -135,6 +145,7 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 		}(n)
 	}
 	for _, n := range r.ctlNodes {
+		n.fp, n.stop = r.fp, r.stop
 		wg.Add(1)
 		go func(n *controllerNode) {
 			defer wg.Done()
@@ -144,9 +155,9 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 		}(n)
 	}
 
-	// Coordinator: aggregate per-round utilities; on convergence, broadcast
-	// stop. The coordinator reads until all controllers have reported their
-	// final round.
+	// Coordinator: aggregate per-round utilities and watch report leases; on
+	// convergence, broadcast stop. The coordinator reads until its endpoint
+	// closes after all nodes have joined.
 	res := &Result{UtilitySeries: stats.NewSeries("utility")}
 	coordDone := make(chan struct{})
 	go func() {
@@ -155,30 +166,59 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 		counts := make(map[int]int)
 		converged := false
 		nextEmit := 0
-		for m := range r.coordinator.Recv() {
-			if m.Kind != kindReport {
-				continue
-			}
-			var rm reportMsg
-			if err := m.Decode(&rm); err != nil {
-				errCh <- err
-				continue
-			}
-			perRound[rm.Round] += rm.Utility
-			counts[rm.Round]++
-			// Emit completed rounds strictly in order: a fast controller's
-			// round r+1 report can beat a slow controller's round r report.
-			for counts[nextEmit] == len(r.ctlNodes) {
-				u := perRound[nextEmit]
-				res.UtilitySeries.Append(float64(nextEmit), u)
-				delete(perRound, nextEmit)
-				delete(counts, nextEmit)
-				if det != nil && !converged && det.Observe(u) {
-					converged = true
-					res.Converged = true
-					r.broadcastStop(nextEmit+1, errCh)
+		lastReport := make(map[string]time.Time)
+		expired := make(map[string]bool)
+		start := time.Now()
+		for ti := range r.p.Tasks {
+			lastReport[r.p.Tasks[ti].Name] = start
+		}
+		var lease <-chan time.Time
+		if r.fp.LeaseAfter > 0 {
+			t := time.NewTicker(r.fp.LeaseAfter)
+			defer t.Stop()
+			lease = t.C
+		}
+		for {
+			select {
+			case m, ok := <-r.coordinator.Recv():
+				if !ok {
+					return
 				}
-				nextEmit++
+				if m.Kind != kindReport {
+					continue
+				}
+				var rm reportMsg
+				if err := m.Decode(&rm); err != nil {
+					errCh <- err
+					continue
+				}
+				lastReport[rm.Task] = time.Now()
+				delete(expired, rm.Task)
+				perRound[rm.Round] += rm.Utility
+				counts[rm.Round]++
+				// Emit completed rounds strictly in order: a fast
+				// controller's round r+1 report can beat a slow controller's
+				// round r report.
+				for counts[nextEmit] == len(r.ctlNodes) {
+					u := perRound[nextEmit]
+					res.UtilitySeries.Append(float64(nextEmit), u)
+					delete(perRound, nextEmit)
+					delete(counts, nextEmit)
+					if det != nil && !converged && det.Observe(u) {
+						converged = true
+						res.Converged = true
+						r.broadcastStop(nextEmit+1, errCh)
+					}
+					nextEmit++
+				}
+			case <-lease:
+				now := time.Now()
+				for task, ts := range lastReport {
+					if now.Sub(ts) > r.fp.LeaseAfter && !expired[task] {
+						expired[task] = true
+						res.LeaseExpirations++
+					}
+				}
 			}
 		}
 	}()
@@ -193,12 +233,20 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 	}
 
 	res.Rounds = res.UtilitySeries.Len()
-	res.Utility = res.UtilitySeries.Last()
 	for _, c := range r.controllers {
+		res.Utility += c.Utility()
 		res.LatMs = append(res.LatMs, append([]float64(nil), c.LatMs...))
 	}
 	for _, a := range r.agents {
 		res.Mu = append(res.Mu, a.Mu)
+	}
+	for _, n := range r.ctlNodes {
+		res.Retransmits += n.retransmits
+		res.RejectedStale += n.rejectedStale
+	}
+	for _, n := range r.resNodes {
+		res.Retransmits += n.retransmits
+		res.RejectedStale += n.rejectedStale
 	}
 	return res, nil
 }

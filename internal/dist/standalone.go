@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"lla/internal/core"
@@ -28,10 +29,11 @@ func newStepFactory(cfg core.Config) func() price.StepSizer {
 }
 
 // RunResource runs the price agent of one resource for the given number of
-// rounds over the network, blocking until the protocol completes. It
-// returns the final resource price.
-func RunResource(w *workload.Workload, cfg core.Config, net transport.Network, resourceID string, rounds int) (float64, error) {
-	cfg = fillConfig(cfg)
+// rounds over the network, blocking until the protocol completes or ctx is
+// cancelled (a cancellation stops the node gracefully, flushing its state).
+// It returns the final resource price.
+func RunResource(ctx context.Context, w *workload.Workload, cfg core.Config, net transport.Network, resourceID string, rounds int) (float64, error) {
+	cfg = cfg.WithDefaults()
 	p, err := core.Compile(w, cfg.WeightMode)
 	if err != nil {
 		return 0, err
@@ -53,6 +55,7 @@ func RunResource(w *workload.Workload, cfg core.Config, net transport.Network, r
 	defer ep.Close()
 	agent := core.NewResourceAgent(p, ri, newStepFactory(cfg)(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu)
 	node := newResourceNode(p, ri, agent, ep)
+	node.fp, node.stop = DefaultFaultPolicy(), ctx.Done()
 	if err := node.run(rounds); err != nil {
 		return 0, err
 	}
@@ -60,10 +63,11 @@ func RunResource(w *workload.Workload, cfg core.Config, net transport.Network, r
 }
 
 // RunController runs the task controller of one task for the given number
-// of rounds, blocking until the protocol completes. It returns the final
-// per-subtask latencies keyed by subtask name, and the final task utility.
-func RunController(w *workload.Workload, cfg core.Config, net transport.Network, taskName string, rounds int) (map[string]float64, float64, error) {
-	cfg = fillConfig(cfg)
+// of rounds, blocking until the protocol completes or ctx is cancelled. It
+// returns the final per-subtask latencies keyed by subtask name, and the
+// final task utility.
+func RunController(ctx context.Context, w *workload.Workload, cfg core.Config, net transport.Network, taskName string, rounds int) (map[string]float64, float64, error) {
+	cfg = cfg.WithDefaults()
 	p, err := core.Compile(w, cfg.WeightMode)
 	if err != nil {
 		return nil, 0, err
@@ -86,6 +90,7 @@ func RunController(w *workload.Workload, cfg core.Config, net transport.Network,
 	ctl := core.NewController(p, ti, newStepFactory(cfg), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.MaxInner)
 	node := newControllerNode(p, ti, ctl, ep)
 	node.reports = false
+	node.fp, node.stop = DefaultFaultPolicy(), ctx.Done()
 	if err := node.run(rounds); err != nil {
 		return nil, 0, err
 	}

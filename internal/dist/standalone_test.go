@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func TestStandaloneNodesMatchEngine(t *testing.T) {
 		wg.Add(1)
 		go func(ri int, id string) {
 			defer wg.Done()
-			mu, err := RunResource(w, core.Config{}, net, id, rounds)
+			mu, err := RunResource(context.Background(), w, core.Config{}, net, id, rounds)
 			if err != nil {
 				errs <- err
 				return
@@ -42,7 +43,7 @@ func TestStandaloneNodesMatchEngine(t *testing.T) {
 		wg.Add(1)
 		go func(ti int, name string) {
 			defer wg.Done()
-			l, u, err := RunController(w, core.Config{}, net, name, rounds)
+			l, u, err := RunController(context.Background(), w, core.Config{}, net, name, rounds)
 			if err != nil {
 				errs <- err
 				return
@@ -92,15 +93,15 @@ func TestStandaloneNodesMatchEngine(t *testing.T) {
 func TestStandaloneUnknownNames(t *testing.T) {
 	w := workload.Base()
 	net := transport.NewInproc(transport.InprocConfig{})
-	if _, err := RunResource(w, core.Config{}, net, "nope", 10); err == nil {
+	if _, err := RunResource(context.Background(), w, core.Config{}, net, "nope", 10); err == nil {
 		t.Error("unknown resource should fail")
 	}
-	if _, _, err := RunController(w, core.Config{}, net, "nope", 10); err == nil {
+	if _, _, err := RunController(context.Background(), w, core.Config{}, net, "nope", 10); err == nil {
 		t.Error("unknown task should fail")
 	}
 	bad := workload.Base()
 	bad.Tasks = nil
-	if _, err := RunResource(bad, core.Config{}, net, "r0", 10); err == nil {
+	if _, err := RunResource(context.Background(), bad, core.Config{}, net, "r0", 10); err == nil {
 		t.Error("invalid workload should fail")
 	}
 }

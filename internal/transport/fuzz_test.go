@@ -2,11 +2,14 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
 // FuzzReadFrame hardens the TCP frame decoder against arbitrary bytes: it
-// must never panic and must round-trip frames it produced itself.
+// must never panic, must round-trip frames it produced itself, and must
+// reject truncated, oversized, and corrupt length-prefixed input with an
+// error rather than a crash or a hostile-length allocation.
 func FuzzReadFrame(f *testing.F) {
 	msg, err := encode("a", "b", "kind", map[string]int{"x": 1})
 	if err != nil {
@@ -21,15 +24,53 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
 	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	// Truncated length prefixes.
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0, 0})
+	// Length prefix claims far more body than the stream carries.
+	f.Add([]byte{0, 0xf0, 0, 0, 'x', 'y'})
+	// Length prefix exactly one past the frame limit.
+	f.Add(binary.BigEndian.AppendUint32(nil, maxFrameBytes+1))
+	// Valid frame followed by trailing garbage (stream framing must stop at
+	// the declared length).
+	f.Add(append(append([]byte{}, frame...), 0xde, 0xad))
+	// Declared length larger than the JSON body it carries.
+	f.Add(append([]byte{0, 0, 0, 9}, '{', '}'))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := readFrame(bytes.NewReader(data))
 		if err != nil {
 			return // malformed input is expected to fail cleanly
 		}
+		// A successful decode consumed a well-formed prefix: the input must
+		// have carried at least the declared body.
+		if len(data) < 4 {
+			t.Fatalf("decoded a frame from %d bytes (< header)", len(data))
+		}
+		if n := binary.BigEndian.Uint32(data); uint64(len(data)) < 4+uint64(n) {
+			t.Fatalf("decoded %d-byte body from %d-byte input", n, len(data))
+		}
 		// A successfully decoded message must re-encode.
 		if _, err := encodeFrame(got); err != nil {
 			t.Fatalf("decoded frame does not re-encode: %v", err)
 		}
 	})
+}
+
+// A length prefix claiming megabytes on a truncated stream must error
+// without allocating the declared size up front.
+func TestReadFrameHostileLengthTruncatedBody(t *testing.T) {
+	hostile := binary.BigEndian.AppendUint32(nil, maxFrameBytes-1)
+	hostile = append(hostile, []byte("only a few bytes")...)
+	if _, err := readFrame(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("truncated 16MB claim should fail")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		_, _ = readFrame(bytes.NewReader(hostile))
+	})
+	// The incremental copy allocates the buffer struct and one ~32KiB copy
+	// chunk — a handful of allocations, never the declared 16MB in one shot.
+	if allocs > 10 {
+		t.Errorf("truncated hostile frame cost %.0f allocations per read", allocs)
+	}
 }

@@ -2,12 +2,14 @@ package transport
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 )
 
-// InprocConfig tunes the in-process network's fault injection.
+// InprocConfig tunes the in-process network's fault injection. DelayMs and
+// DropRate are legacy knobs kept for convenience — they are backed by the
+// same seeded injector as the general Chaos wrapper, which additionally
+// offers duplication, reordering, partitions, and node crash/restart.
 type InprocConfig struct {
 	// DelayMs delivers every message after a fixed delay (0 = immediate,
 	// synchronous ordering per sender-receiver pair).
@@ -29,9 +31,10 @@ type InprocConfig struct {
 type Inproc struct {
 	cfg InprocConfig
 
+	inj *injector
+
 	mu        sync.Mutex
 	endpoints map[string]*inprocEndpoint
-	rng       *rand.Rand
 	wg        sync.WaitGroup
 }
 
@@ -44,8 +47,8 @@ func NewInproc(cfg InprocConfig) *Inproc {
 	}
 	return &Inproc{
 		cfg:       cfg,
+		inj:       newInjector(cfg.Seed, cfg.DropRate, 0, 0, cfg.DelayMs, 0),
 		endpoints: make(map[string]*inprocEndpoint),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -71,15 +74,12 @@ func (n *Inproc) Endpoint(addr string) (Endpoint, error) {
 // Wait blocks until all in-flight delayed deliveries have settled.
 func (n *Inproc) Wait() { n.wg.Wait() }
 
-// deliver routes a message, applying loss and delay.
+// deliver routes a message, applying the injector's loss and delay plan.
 func (n *Inproc) deliver(msg Message) error {
 	n.mu.Lock()
 	dst, ok := n.endpoints[msg.To]
-	var drop bool
-	if n.cfg.DropRate > 0 {
-		drop = n.rng.Float64() < n.cfg.DropRate
-	}
 	n.mu.Unlock()
+	drop, _, _, delay := n.inj.plan()
 	if !ok && n.cfg.RegistrationWait > 0 {
 		// The destination may simply not have started yet.
 		deadline := time.Now().Add(n.cfg.RegistrationWait)
@@ -96,11 +96,11 @@ func (n *Inproc) deliver(msg Message) error {
 	if drop {
 		return nil // injected loss: silently dropped
 	}
-	if n.cfg.DelayMs > 0 {
+	if delay > 0 {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			time.Sleep(time.Duration(n.cfg.DelayMs * float64(time.Millisecond)))
+			time.Sleep(delay)
 			dst.push(msg)
 		}()
 		return nil

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -29,6 +30,11 @@ type TCP struct {
 	// DialRetryWindow keeps retrying refused dials for this long, so nodes
 	// of a deployment can start in any order. Zero disables retrying.
 	DialRetryWindow time.Duration
+	// SendRetryWindow keeps retrying a failed Send for this long, dropping
+	// the broken cached connection and re-dialing with capped exponential
+	// backoff plus jitter between attempts (the peer may be restarting).
+	// Zero falls back to a single immediate reconnect attempt.
+	SendRetryWindow time.Duration
 }
 
 var _ Network = (*TCP)(nil)
@@ -41,7 +47,7 @@ func NewTCP(registry map[string]string) *TCP {
 	for k, v := range registry {
 		r[k] = v
 	}
-	return &TCP{registry: r, dialTimeout: 5 * time.Second, DialRetryWindow: 15 * time.Second}
+	return &TCP{registry: r, dialTimeout: 5 * time.Second, DialRetryWindow: 15 * time.Second, SendRetryWindow: 10 * time.Second}
 }
 
 // Register maps a logical address to a host:port.
@@ -153,16 +159,18 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Endpoint. Connections are cached per destination and
-// re-dialed once on a write failure (the peer may have restarted).
+// Send implements Endpoint. Connections are cached per destination; a write
+// failure drops the broken connection and reconnects with capped exponential
+// backoff plus jitter for up to SendRetryWindow (the peer may be
+// restarting). Non-transient failures — unknown destination, unmarshalable
+// payload, closed endpoint — fail immediately.
 func (e *tcpEndpoint) Send(to, kind string, payload any) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.isClosed() {
 		return fmt.Errorf("transport: endpoint %q closed", e.addr)
 	}
-	e.mu.Unlock()
-
+	if _, err := e.net.lookup(to); err != nil {
+		return err // unknown destination: retrying cannot help
+	}
 	msg, err := encode(e.addr, to, kind, payload)
 	if err != nil {
 		return err
@@ -171,12 +179,33 @@ func (e *tcpEndpoint) Send(to, kind string, payload any) error {
 	if err != nil {
 		return err
 	}
-	if err := e.write(to, frame); err != nil {
-		// One reconnect attempt.
-		e.dropConn(to)
-		return e.write(to, frame)
+	err = e.write(to, frame)
+	if err == nil {
+		return nil
 	}
-	return nil
+	deadline := time.Now().Add(e.net.SendRetryWindow)
+	for attempt := 0; ; attempt++ {
+		e.dropConn(to)
+		if e.isClosed() {
+			return err
+		}
+		if attempt > 0 && !time.Now().Before(deadline) {
+			return err
+		}
+		if attempt > 0 {
+			time.Sleep(Backoff(attempt-1, 25*time.Millisecond, time.Second))
+		}
+		if err = e.write(to, frame); err == nil {
+			return nil
+		}
+	}
+}
+
+// isClosed reports whether Close has run.
+func (e *tcpEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
 }
 
 // write sends a frame over the cached (or freshly dialed) connection.
@@ -287,7 +316,9 @@ func encodeFrame(msg Message) ([]byte, error) {
 	return frame, nil
 }
 
-// readFrame reads one length-prefixed JSON frame.
+// readFrame reads one length-prefixed JSON frame. The body buffer grows only
+// as bytes actually arrive, so a corrupt or hostile length prefix on a
+// truncated stream cannot force a large up-front allocation.
 func readFrame(r io.Reader) (Message, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -297,12 +328,15 @@ func readFrame(r io.Reader) (Message, error) {
 	if n == 0 || n > maxFrameBytes {
 		return Message{}, errors.New("transport: invalid frame length")
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Message{}, err
+	var buf bytes.Buffer
+	if n <= 64<<10 {
+		buf.Grow(int(n)) // typical small frame: one exact allocation
+	}
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return Message{}, fmt.Errorf("transport: truncated frame: %w", err)
 	}
 	var msg Message
-	if err := json.Unmarshal(body, &msg); err != nil {
+	if err := json.Unmarshal(buf.Bytes(), &msg); err != nil {
 		return Message{}, fmt.Errorf("transport: decoding frame: %w", err)
 	}
 	return msg, nil
