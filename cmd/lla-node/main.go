@@ -25,6 +25,7 @@ import (
 
 	"lla/internal/core"
 	"lla/internal/dist"
+	"lla/internal/obs"
 	"lla/internal/transport"
 	"lla/internal/workload"
 )
@@ -50,9 +51,17 @@ func run(ctx context.Context, args []string) error {
 	rounds := fs.Int("rounds", 500, "number of synchronous optimization rounds")
 	demo := fs.Bool("demo", false, "run the entire deployment in-process over TCP loopback")
 	printRegistry := fs.Bool("print-registry", false, "print a template registry for the workload and exit")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:8080)")
+	tracePath := fs.String("trace", "", "append JSONL trace events to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	o, obsDone, err := buildObserver(*debugAddr, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
 
 	w, err := loadWorkload(*workloadArg)
 	if err != nil {
@@ -73,7 +82,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	if *demo {
-		return runDemo(ctx, w, *rounds)
+		return runDemo(ctx, w, *rounds, o)
 	}
 
 	if *registryPath == "" {
@@ -92,7 +101,7 @@ func run(ctx context.Context, args []string) error {
 	switch *role {
 	case "resource":
 		fmt.Fprintf(os.Stderr, "resource node %s: running %d rounds\n", *id, *rounds)
-		mu, err := dist.RunResource(ctx, w, core.Config{}, net, *id, *rounds)
+		mu, err := dist.RunResourceObserved(ctx, w, core.Config{}, net, *id, *rounds, o)
 		if err != nil {
 			return err
 		}
@@ -100,7 +109,7 @@ func run(ctx context.Context, args []string) error {
 		return nil
 	case "controller":
 		fmt.Fprintf(os.Stderr, "controller node %s: running %d rounds\n", *id, *rounds)
-		lats, utility, err := dist.RunController(ctx, w, core.Config{}, net, *id, *rounds)
+		lats, utility, err := dist.RunControllerObserved(ctx, w, core.Config{}, net, *id, *rounds, o)
 		if err != nil {
 			return err
 		}
@@ -138,8 +147,51 @@ func loadWorkload(arg string) (*workload.Workload, error) {
 	return &w, nil
 }
 
+// buildObserver assembles the process's observability from the -debug-addr
+// and -trace flags: a metrics registry served over HTTP (with expvar and
+// pprof), and a JSONL trace sink appending to a file. Both flags empty means
+// no observer (nil) and zero overhead. The returned cleanup flushes and
+// closes whatever was opened; it is safe to call unconditionally.
+func buildObserver(debugAddr, tracePath string) (*obs.Observer, func(), error) {
+	if debugAddr == "" && tracePath == "" {
+		return nil, func() {}, nil
+	}
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	var closers []func()
+	if tracePath != "" {
+		f, err := os.OpenFile(tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, func() {}, err
+		}
+		j := obs.NewJSONL(f)
+		o.Trace = j
+		closers = append(closers, func() {
+			if err := j.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "lla-node: trace:", err)
+			}
+			f.Close()
+		})
+	}
+	if debugAddr != "" {
+		srv, addr, err := obs.Serve(debugAddr, o.Metrics)
+		if err != nil {
+			for _, c := range closers {
+				c()
+			}
+			return nil, func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+		closers = append(closers, func() { srv.Close() })
+	}
+	return o, func() {
+		for _, c := range closers {
+			c()
+		}
+	}, nil
+}
+
 // runDemo hosts the full deployment in one process over TCP loopback.
-func runDemo(ctx context.Context, w *workload.Workload, rounds int) error {
+func runDemo(ctx context.Context, w *workload.Workload, rounds int, o *obs.Observer) error {
 	registry := make(map[string]string)
 	for _, addr := range dist.Addresses(w) {
 		registry[addr] = "127.0.0.1:0"
@@ -149,6 +201,7 @@ func runDemo(ctx context.Context, w *workload.Workload, rounds int) error {
 		return err
 	}
 	defer rt.Close()
+	rt.Observe(o)
 	// A signal mid-run drains the protocol gracefully and reports the state
 	// reached so far.
 	stopOnSignal := make(chan struct{})

@@ -6,6 +6,11 @@
 //	lla-sim -experiment table1
 //	lla-sim -experiment all -csv out/
 //	lla-sim -experiment fig8 -quick
+//	lla-sim -experiment fig5 -trace fig5.jsonl -debug-addr localhost:8080
+//
+// -trace streams one JSONL line per optimizer iteration (KKT residuals,
+// prices, demands — see OBSERVABILITY.md); -debug-addr serves /metrics,
+// /debug/vars and /debug/pprof while the experiments run.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"path/filepath"
 
 	"lla/internal/eval"
+	"lla/internal/obs"
 	"lla/internal/stats"
 )
 
@@ -32,8 +38,39 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed (fig8)")
 	workers := fs.Int("workers", 0, "optimizer shards per iteration: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
 	csvDir := fs.String("csv", "", "directory to write full series CSVs into")
+	tracePath := fs.String("trace", "", "append per-iteration JSONL telemetry (samples + events) to this file")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
+	sampleEvery := fs.Int("trace-every", 1, "record every Nth iteration in the trace (1 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var o *obs.Observer
+	if *tracePath != "" || *debugAddr != "" {
+		o = &obs.Observer{Metrics: obs.NewRegistry()}
+		if *tracePath != "" {
+			f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			j := obs.NewJSONL(f)
+			j.Every = *sampleEvery
+			o.Recorder, o.Trace = j, j
+			defer func() {
+				if err := j.Err(); err != nil {
+					fmt.Fprintln(os.Stderr, "lla-sim: trace:", err)
+				}
+			}()
+		}
+		if *debugAddr != "" {
+			srv, addr, err := obs.Serve(*debugAddr, o.Metrics)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+		}
 	}
 
 	runners := map[string]func(eval.Options) (*eval.Result, error){
@@ -61,7 +98,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q (see -h for the list)", *experiment)
 	}
 
-	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o}
 	for _, name := range selected {
 		res, err := runners[name](opts)
 		if err != nil {

@@ -1,0 +1,65 @@
+package lla
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style and
+// autolinks are out of scope; the repo's docs use inline links.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks fails on dead relative links in any tracked markdown file:
+// a link to a file or directory that does not exist means a doc rotted
+// against the tree. External URLs and pure anchors are not checked.
+func TestDocsLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found — is the test running at the repo root?")
+	}
+
+	for _, md := range mdFiles {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			switch {
+			case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+				continue // external
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 
+	"lla/internal/obs"
 	"lla/internal/price"
 	"lla/internal/stats"
 	"lla/internal/task"
@@ -60,7 +60,24 @@ func (c Config) WithDefaults() Config {
 	if c.MaxInner == 0 {
 		c.MaxInner = 30
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// NewStepSizer builds one step sizer from the config's StepPolicy. It is
+// the single source of truth for step-sizer construction: the engine and
+// the distributed runtimes (which build controllers and agents directly)
+// all go through it, so a config produces identical price dynamics in every
+// runtime. Call on a config that has been through WithDefaults.
+func (c Config) NewStepSizer() price.StepSizer {
+	if c.Step.Adaptive {
+		a := price.NewAdaptive(c.Step.Gamma)
+		a.Max = c.Step.Max
+		return a
+	}
+	return &price.Fixed{Value: c.Step.Gamma}
 }
 
 // Engine drives LLA synchronously: one Step performs a full iteration —
@@ -96,6 +113,10 @@ type Engine struct {
 	// pool holds the parked shard workers; nil until the first parallel
 	// Step and whenever nshards == 1.
 	pool *workerPool
+
+	// obsv holds the attached observability channels (nil = disabled); the
+	// hot path pays one nil-check per Step when nothing is attached.
+	obsv *obsHandles
 }
 
 // NewEngine compiles the workload and builds controllers and resource
@@ -124,14 +145,7 @@ func NewEngine(w *workload.Workload, cfg Config) (*Engine, error) {
 	// Callers that drop an engine without Close must not leak its parked
 	// workers; the pool never references the engine, so finalization fires.
 	runtime.SetFinalizer(e, (*Engine).Close)
-	newStep := func() price.StepSizer {
-		if cfg.Step.Adaptive {
-			a := price.NewAdaptive(cfg.Step.Gamma)
-			a.Max = cfg.Step.Max
-			return a
-		}
-		return &price.Fixed{Value: cfg.Step.Gamma}
-	}
+	newStep := cfg.NewStepSizer
 	for ti := range p.Tasks {
 		e.controllers = append(e.controllers, NewController(p, ti, newStep, cfg.Step.Gamma, cfg.Step.Adaptive, cfg.MaxInner))
 	}
@@ -195,6 +209,9 @@ func (e *Engine) Step() {
 		e.congested[ri] = a.Congested(sum)
 	}
 	e.iter++
+	if e.obsv != nil {
+		e.publishObs()
+	}
 }
 
 // runShard executes the controller phase for shard w's contiguous task
@@ -267,6 +284,7 @@ func (e *Engine) RunUntilConverged(maxIters int, relTol float64, window int, tol
 		e.Step()
 		pr := e.Probe()
 		if det.Observe(pr.Utility) && pr.MaxResourceViolation < tol && pr.MaxPathViolationFrac < tol {
+			e.emit(obs.Event{Kind: obs.EventConverged, Iteration: pr.Iteration, Value: pr.Utility})
 			return e.Snapshot(), true
 		}
 	}
@@ -294,6 +312,8 @@ func (e *Engine) SetAvailability(resourceID string, availability float64) error 
 			e.p.refreshBounds(sub[0], sub[1])
 		}
 		e.refreshResourceState()
+		e.emit(obs.Event{Kind: obs.EventWorkloadChange, Iteration: e.iter,
+			Resource: resourceID, Detail: "availability", Value: availability})
 		return nil
 	}
 	return fmt.Errorf("core: unknown resource %q", resourceID)
@@ -308,6 +328,8 @@ func (e *Engine) SetErrorMs(taskName, subtaskName string, errMs float64) error {
 	}
 	e.p.Tasks[ti].Share[si].ErrMs = errMs
 	e.p.refreshBounds(ti, si)
+	e.emit(obs.Event{Kind: obs.EventWorkloadChange, Iteration: e.iter,
+		Task: taskName, Subtask: subtaskName, Detail: "err_ms", Value: errMs})
 	return nil
 }
 
@@ -323,6 +345,8 @@ func (e *Engine) SetMinShare(taskName, subtaskName string, minShare float64) err
 	}
 	e.p.src.Tasks[ti].Subtasks[si].MinShare = minShare
 	e.p.refreshBounds(ti, si)
+	e.emit(obs.Event{Kind: obs.EventWorkloadChange, Iteration: e.iter,
+		Task: taskName, Subtask: subtaskName, Detail: "min_share", Value: minShare})
 	return nil
 }
 
@@ -345,27 +369,17 @@ func (e *Engine) findSubtask(taskName, subtaskName string) (int, int, error) {
 // KKTResiduals measures how far the current point is from stationarity: for
 // every subtask whose latency is strictly inside its bounds, the residual of
 // Equation 7 normalized by the price scale. Near the optimum these vanish;
-// tests use this to certify optimality beyond utility stabilization.
+// tests use this to certify optimality beyond utility stabilization, and
+// KKTStats (observe.go) summarizes the same residuals allocation-free for
+// the per-iteration telemetry.
 func (e *Engine) KKTResiduals() []float64 {
 	var out []float64
 	for ti := range e.p.Tasks {
-		pt := &e.p.Tasks[ti]
-		c := e.controllers[ti]
-		agg := c.aggregate()
-		slope := pt.Curve.Slope(agg)
-		for si, lat := range c.LatMs {
-			lo, hi := pt.LatMinMs[si], pt.LatMaxMs[si]
-			if lat <= lo*(1+1e-6) || lat >= hi*(1-1e-6) {
-				continue // bound-active: stationarity need not hold
+		slope := e.p.Tasks[ti].Curve.Slope(e.controllers[ti].aggregate())
+		for si := range e.controllers[ti].LatMs {
+			if r, ok := e.kktResidual(ti, si, slope); ok {
+				out = append(out, r)
 			}
-			lambdaSum := 0.0
-			for _, pi := range pt.PathsThrough[si] {
-				lambdaSum += c.Lambda[pi]
-			}
-			mu := e.agents[pt.Res[si]].Mu
-			resid := pt.Weights[si]*slope - lambdaSum - mu*pt.Share[si].Deriv(lat)
-			scale := math.Max(1, math.Abs(lambdaSum)+math.Abs(pt.Weights[si]*slope))
-			out = append(out, math.Abs(resid)/scale)
 		}
 	}
 	return out

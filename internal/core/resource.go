@@ -103,6 +103,11 @@ func (a *ResourceAgent) UpdatePrice(shareSum float64) {
 	a.Mu = price.UpdateResource(a.Mu, gamma, avail, shareSum)
 }
 
+// StepGamma returns the step sizer's current step size — the state of the
+// Section 5.2 adaptive controller, recorded per iteration by the
+// observability layer.
+func (a *ResourceAgent) StepGamma() float64 { return a.step.Gamma() }
+
 // ResetPrice restores the initial price and step size; used after structural
 // workload changes.
 func (a *ResourceAgent) ResetPrice(initialMu float64) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lla/internal/core"
+	"lla/internal/obs"
 	"lla/internal/transport"
 	"lla/internal/workload"
 )
@@ -72,6 +73,16 @@ func RunAsync(w *workload.Workload, cfg core.Config, net transport.Network, d, p
 // RunAsyncWithPolicy is RunAsync with an explicit fault policy (heartbeat
 // interval and failure-detection lease).
 func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Network, d, pace time.Duration, fp FaultPolicy) (*AsyncResult, error) {
+	return RunAsyncObserved(w, cfg, net, d, pace, fp, nil)
+}
+
+// RunAsyncObserved is RunAsyncWithPolicy with observability attached: the
+// lla_dist_* counters increment live as the fault machinery fires, resource
+// gauges track each price publication, and the trace sink receives
+// degraded_enter/degraded_exit events at every lease transition (plus
+// lease_expiry when a controller first marks a resource silent). A nil
+// observer behaves exactly like RunAsyncWithPolicy.
+func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Network, d, pace time.Duration, fp FaultPolicy, o *obs.Observer) (*AsyncResult, error) {
 	if pace <= 0 {
 		pace = time.Millisecond
 	}
@@ -81,7 +92,20 @@ func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Net
 	if err != nil {
 		return nil, err
 	}
-	newStep := newStepFactory(cfg)
+	newStep := cfg.NewStepSizer
+
+	// Nil-safe metric handles: all remain nil (no-op) without a registry.
+	var cRetrans, cStale, cDegraded, cLease *obs.Counter
+	var rms []*obs.ResourceMetrics
+	if o != nil && o.Metrics != nil {
+		dm := obs.NewDistMetrics(o.Metrics)
+		cRetrans, cStale = dm.Retransmits, dm.RejectedStale
+		cDegraded, cLease = dm.DegradedRounds, dm.LeaseExpirations
+		rms = make([]*obs.ResourceMetrics, len(p.Resources))
+		for ri := range p.Resources {
+			rms[ri] = obs.NewResourceMetrics(o.Metrics, p.Resources[ri].ID)
+		}
+	}
 
 	type ctlNode struct {
 		ctl *core.Controller
@@ -142,6 +166,7 @@ func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Net
 			mu.Lock()
 			res.RejectedStale++
 			mu.Unlock()
+			cStale.Inc()
 			return false
 		}
 		lastSeq[from] = seq
@@ -186,6 +211,13 @@ func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Net
 					sum += p.Tasks[ti].Share[si].Share(lat[sub])
 				}
 				n.agent.UpdatePrice(sum)
+				if rms != nil {
+					rm := rms[n.ri]
+					rm.ShareSum.Set(sum)
+					rm.Availability.Set(r.Availability)
+					rm.Utilization.Set(sum / r.Availability)
+					rm.Price.Set(n.agent.Mu)
+				}
 				seq++
 				lastMsg = priceMsg{Seq: seq, Resource: r.ID, Mu: n.agent.Mu, Congested: n.agent.Congested(sum)}
 				send(lastMsg)
@@ -240,6 +272,7 @@ func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Net
 						mu.Lock()
 						res.Retransmits++
 						mu.Unlock()
+						cRetrans.Inc()
 					}
 					continue
 				case <-stop:
@@ -325,6 +358,7 @@ func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Net
 						res.MaxDegradedPathViolation = v
 					}
 					mu.Unlock()
+					cDegraded.Inc()
 				}
 				byRes := make(map[int]map[string]float64)
 				for si, ri := range pt.Res {
@@ -363,6 +397,9 @@ func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Net
 						congested[ri] = pm.Congested
 						// A fresh price resynchronizes a degraded resource.
 						lastHeard[ri] = time.Now()
+						if degraded[ri] && o != nil {
+							o.Emit(obs.Event{Kind: obs.EventDegradedExit, Task: pt.Name, Resource: pm.Resource})
+						}
 						degraded[ri] = false
 						break
 					}
@@ -390,6 +427,10 @@ func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Net
 							if !degraded[ri] && now.Sub(lastHeard[ri]) > fp.LeaseAfter {
 								degraded[ri] = true
 								recompute = true // re-clamp on frozen prices
+								cLease.Inc()
+								if o != nil {
+									o.Emit(obs.Event{Kind: obs.EventDegradedEnter, Task: pt.Name, Resource: p.Resources[ri].ID})
+								}
 							}
 						}
 					}
@@ -404,6 +445,7 @@ func RunAsyncWithPolicy(w *workload.Workload, cfg core.Config, net transport.Net
 						mu.Lock()
 						res.Retransmits++
 						mu.Unlock()
+						cRetrans.Inc()
 					}
 					if !recompute {
 						continue

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lla/internal/core"
+	"lla/internal/obs"
 	"lla/internal/transport"
 )
 
@@ -53,6 +54,11 @@ type resourceNode struct {
 	// runtime after the node goroutine joins.
 	retransmits   int64
 	rejectedStale int64
+	// mRetransmits/mRejectedStale mirror the counters live on an attached
+	// metrics registry; rm carries the per-resource gauges. All nil (and
+	// therefore no-ops) unless observability is attached before run.
+	mRetransmits, mRejectedStale *obs.Counter
+	rm                           *obs.ResourceMetrics
 }
 
 // newResourceNode wires a resource agent to an endpoint.
@@ -104,6 +110,7 @@ func (n *resourceNode) rebroadcast(got map[string]bool) error {
 			continue
 		}
 		n.retransmits++
+		n.mRetransmits.Inc()
 		if err := n.ep.Send(controllerAddr(tn), kindPrice, n.lastPrice); err != nil {
 			return fmt.Errorf("dist: resource %s: %w", n.p.Resources[n.ri].ID, err)
 		}
@@ -182,8 +189,10 @@ func (n *resourceNode) run(maxRounds int) error {
 				// (lost, or this is a duplicate delivery). Re-send it
 				// directly; the fold it triggers is idempotent.
 				n.rejectedStale++
+				n.mRejectedStale.Inc()
 				if n.ctlSet[lm.Task] {
 					n.retransmits++
+					n.mRetransmits.Inc()
 					if err := n.ep.Send(controllerAddr(lm.Task), kindPrice, n.lastPrice); err != nil {
 						return fmt.Errorf("dist: resource %s: %w", n.p.Resources[n.ri].ID, err)
 					}
@@ -227,6 +236,13 @@ func (n *resourceNode) run(maxRounds int) error {
 			sum += n.p.Tasks[ti].Share[si].Share(n.lat[sub])
 		}
 		n.agent.UpdatePrice(sum)
+		if n.rm != nil {
+			avail := n.p.Resources[n.ri].Availability
+			n.rm.ShareSum.Set(sum)
+			n.rm.Availability.Set(avail)
+			n.rm.Utilization.Set(sum / avail)
+			n.rm.Price.Set(n.agent.Mu)
+		}
 		round++
 		got = make(map[string]bool)
 		if round < limit {
@@ -286,6 +302,9 @@ type controllerNode struct {
 	// runtime after the node goroutine joins.
 	retransmits   int64
 	rejectedStale int64
+	// mRetransmits/mRejectedStale mirror the counters live on an attached
+	// metrics registry; nil (no-op) unless observability is attached.
+	mRetransmits, mRejectedStale *obs.Counter
 }
 
 // newControllerNode wires a task controller to an endpoint.
@@ -357,6 +376,7 @@ func (n *controllerNode) rebroadcast(got map[string]bool) error {
 			continue
 		}
 		n.retransmits++
+		n.mRetransmits.Inc()
 		if err := n.ep.Send(resourceAddr(n.p.Resources[ri].ID), kindLatency, msg); err != nil {
 			return fmt.Errorf("dist: controller %s: %w", n.name, err)
 		}
@@ -404,9 +424,11 @@ func (n *controllerNode) run(maxRounds int) error {
 				// Stale: the resource has not seen our latest latencies.
 				// Re-send the cached message for that resource directly.
 				n.rejectedStale++
+				n.mRejectedStale.Inc()
 				if ri, ok := n.resByID[pm.Resource]; ok {
 					if msg, ok := n.lastLat[ri]; ok {
 						n.retransmits++
+						n.mRetransmits.Inc()
 						if err := n.ep.Send(resourceAddr(pm.Resource), kindLatency, msg); err != nil {
 							return fmt.Errorf("dist: controller %s: %w", n.name, err)
 						}
@@ -494,10 +516,12 @@ func (n *controllerNode) linger() error {
 				}
 				// The resource is stalled on our final latencies: recover it.
 				n.rejectedStale++
+				n.mRejectedStale.Inc()
 				quiet = 0
 				if ri, ok := n.resByID[pm.Resource]; ok {
 					if msg, ok := n.lastLat[ri]; ok {
 						n.retransmits++
+						n.mRetransmits.Inc()
 						if err := n.ep.Send(resourceAddr(pm.Resource), kindLatency, msg); err != nil {
 							return fmt.Errorf("dist: controller %s: %w", n.name, err)
 						}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lla/internal/core"
+	"lla/internal/obs"
 	"lla/internal/stats"
 	"lla/internal/transport"
 	"lla/internal/workload"
@@ -27,6 +28,11 @@ type Runtime struct {
 	fp       FaultPolicy
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// obsv and dm are set by Observe; nil means no observability overhead
+	// beyond the nodes' nil-safe counter calls.
+	obsv *obs.Observer
+	dm   *obs.DistMetrics
 }
 
 // New compiles the workload and registers all endpoints on the network.
@@ -43,7 +49,7 @@ func New(w *workload.Workload, cfg core.Config, net transport.Network) (*Runtime
 		fp:   DefaultFaultPolicy(),
 		stop: make(chan struct{}),
 	}
-	newStep := newStepFactory(cfg)
+	newStep := cfg.NewStepSizer
 
 	r.coordinator, err = net.Endpoint(coordinatorAddr)
 	if err != nil {
@@ -75,6 +81,38 @@ func New(w *workload.Workload, cfg core.Config, net transport.Network) (*Runtime
 // retransmission and lease tracking entirely, which is only safe on
 // loss-free networks.
 func (r *Runtime) SetFaultPolicy(fp FaultPolicy) { r.fp = fp.withDefaults() }
+
+// Observe attaches observability to the deployment; nil detaches. Call
+// before Run. With a metrics registry attached, every node increments the
+// lla_dist_* counters live (alongside the join-time Result totals), resource
+// nodes refresh the per-resource gauges each completed round, and the
+// coordinator counts rounds and samples round latency; with a trace sink
+// attached, the coordinator emits lease_expiry and converged events.
+func (r *Runtime) Observe(o *obs.Observer) {
+	r.obsv, r.dm = o, nil
+	if o == nil {
+		for _, n := range r.resNodes {
+			n.mRetransmits, n.mRejectedStale, n.rm = nil, nil, nil
+		}
+		for _, n := range r.ctlNodes {
+			n.mRetransmits, n.mRejectedStale = nil, nil
+		}
+		return
+	}
+	if o.Metrics == nil {
+		return
+	}
+	r.dm = obs.NewDistMetrics(o.Metrics)
+	for ri, n := range r.resNodes {
+		n.mRetransmits = r.dm.Retransmits
+		n.mRejectedStale = r.dm.RejectedStale
+		n.rm = obs.NewResourceMetrics(o.Metrics, r.p.Resources[ri].ID)
+	}
+	for _, n := range r.ctlNodes {
+		n.mRetransmits = r.dm.Retransmits
+		n.mRejectedStale = r.dm.RejectedStale
+	}
+}
 
 // Shutdown asks all nodes to stop gracefully at their next receive: node
 // goroutines return without error, Run joins them and returns the state
@@ -169,6 +207,7 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 		lastReport := make(map[string]time.Time)
 		expired := make(map[string]bool)
 		start := time.Now()
+		lastEmit := start
 		for ti := range r.p.Tasks {
 			lastReport[r.p.Tasks[ti].Name] = start
 		}
@@ -204,9 +243,18 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 					res.UtilitySeries.Append(float64(nextEmit), u)
 					delete(perRound, nextEmit)
 					delete(counts, nextEmit)
+					if r.dm != nil {
+						now := time.Now()
+						r.dm.Rounds.Inc()
+						r.dm.RoundSeconds.Observe(now.Sub(lastEmit).Seconds())
+						lastEmit = now
+					}
 					if det != nil && !converged && det.Observe(u) {
 						converged = true
 						res.Converged = true
+						if r.obsv != nil {
+							r.obsv.Emit(obs.Event{Kind: obs.EventConverged, Round: nextEmit, Value: u})
+						}
 						r.broadcastStop(nextEmit+1, errCh)
 					}
 					nextEmit++
@@ -217,6 +265,12 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 					if now.Sub(ts) > r.fp.LeaseAfter && !expired[task] {
 						expired[task] = true
 						res.LeaseExpirations++
+						if r.dm != nil {
+							r.dm.LeaseExpirations.Inc()
+						}
+						if r.obsv != nil {
+							r.obsv.Emit(obs.Event{Kind: obs.EventLeaseExpiry, Round: nextEmit, Task: task})
+						}
 					}
 				}
 			}

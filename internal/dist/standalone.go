@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"lla/internal/core"
-	"lla/internal/price"
+	"lla/internal/obs"
 	"lla/internal/transport"
 	"lla/internal/workload"
 )
@@ -15,24 +15,24 @@ import (
 // can spread resources and controllers across machines (cmd/lla-node).
 // Standalone nodes do not send coordinator reports — a deployment without a
 // coordinator simply runs for the fixed number of rounds.
-
-// newStepFactory builds the step-sizer factory for a config.
-func newStepFactory(cfg core.Config) func() price.StepSizer {
-	return func() price.StepSizer {
-		if cfg.Step.Adaptive {
-			a := price.NewAdaptive(cfg.Step.Gamma)
-			a.Max = cfg.Step.Max
-			return a
-		}
-		return &price.Fixed{Value: cfg.Step.Gamma}
-	}
-}
+//
+// Step sizers come from core.Config.NewStepSizer — the same constructor the
+// engine uses — so a standalone node's price dynamics match the reference
+// engine exactly (TestConfigDefaultsSingleSource pins this).
 
 // RunResource runs the price agent of one resource for the given number of
 // rounds over the network, blocking until the protocol completes or ctx is
 // cancelled (a cancellation stops the node gracefully, flushing its state).
 // It returns the final resource price.
 func RunResource(ctx context.Context, w *workload.Workload, cfg core.Config, net transport.Network, resourceID string, rounds int) (float64, error) {
+	return RunResourceObserved(ctx, w, cfg, net, resourceID, rounds, nil)
+}
+
+// RunResourceObserved is RunResource with observability attached: the node's
+// retransmit/stale counters increment live on the observer's registry and
+// the per-resource gauges (share sum, utilization, price) refresh each
+// completed round. A nil observer behaves exactly like RunResource.
+func RunResourceObserved(ctx context.Context, w *workload.Workload, cfg core.Config, net transport.Network, resourceID string, rounds int, o *obs.Observer) (float64, error) {
 	cfg = cfg.WithDefaults()
 	p, err := core.Compile(w, cfg.WeightMode)
 	if err != nil {
@@ -53,9 +53,14 @@ func RunResource(ctx context.Context, w *workload.Workload, cfg core.Config, net
 		return 0, err
 	}
 	defer ep.Close()
-	agent := core.NewResourceAgent(p, ri, newStepFactory(cfg)(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu)
+	agent := core.NewResourceAgent(p, ri, cfg.NewStepSizer(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu)
 	node := newResourceNode(p, ri, agent, ep)
 	node.fp, node.stop = DefaultFaultPolicy(), ctx.Done()
+	if o != nil && o.Metrics != nil {
+		dm := obs.NewDistMetrics(o.Metrics)
+		node.mRetransmits, node.mRejectedStale = dm.Retransmits, dm.RejectedStale
+		node.rm = obs.NewResourceMetrics(o.Metrics, resourceID)
+	}
 	if err := node.run(rounds); err != nil {
 		return 0, err
 	}
@@ -67,6 +72,13 @@ func RunResource(ctx context.Context, w *workload.Workload, cfg core.Config, net
 // returns the final per-subtask latencies keyed by subtask name, and the
 // final task utility.
 func RunController(ctx context.Context, w *workload.Workload, cfg core.Config, net transport.Network, taskName string, rounds int) (map[string]float64, float64, error) {
+	return RunControllerObserved(ctx, w, cfg, net, taskName, rounds, nil)
+}
+
+// RunControllerObserved is RunController with observability attached: the
+// node's retransmit/stale counters increment live on the observer's
+// registry. A nil observer behaves exactly like RunController.
+func RunControllerObserved(ctx context.Context, w *workload.Workload, cfg core.Config, net transport.Network, taskName string, rounds int, o *obs.Observer) (map[string]float64, float64, error) {
 	cfg = cfg.WithDefaults()
 	p, err := core.Compile(w, cfg.WeightMode)
 	if err != nil {
@@ -87,10 +99,14 @@ func RunController(ctx context.Context, w *workload.Workload, cfg core.Config, n
 		return nil, 0, err
 	}
 	defer ep.Close()
-	ctl := core.NewController(p, ti, newStepFactory(cfg), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.MaxInner)
+	ctl := core.NewController(p, ti, cfg.NewStepSizer, cfg.Step.Gamma, cfg.Step.Adaptive, cfg.MaxInner)
 	node := newControllerNode(p, ti, ctl, ep)
 	node.reports = false
 	node.fp, node.stop = DefaultFaultPolicy(), ctx.Done()
+	if o != nil && o.Metrics != nil {
+		dm := obs.NewDistMetrics(o.Metrics)
+		node.mRetransmits, node.mRejectedStale = dm.Retransmits, dm.RejectedStale
+	}
 	if err := node.run(rounds); err != nil {
 		return nil, 0, err
 	}

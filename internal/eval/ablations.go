@@ -31,6 +31,7 @@ func AblationWeights(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.attach(e)
 		snap, ok := e.RunUntilConverged(iters, 1e-8, 50, 1e-2)
 		tbl.AddRow(mode.String(), fmt.Sprintf("%v", ok), fmt.Sprintf("%d", snap.Iteration),
 			f2(snap.Utility), f3(snap.MaxResourceViolation), f3(snap.MaxPathViolationFrac))
@@ -75,6 +76,7 @@ func AblationBaselines(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.attach(e)
 		snap, _ := e.RunUntilConverged(iters, 1e-8, 50, 1e-3)
 		tbl.AddRow("LLA (distributed)", f2(snap.Utility), f3(snap.MaxResourceViolation),
 			f3(snap.MaxPathViolationFrac), fmt.Sprintf("%v", snap.Feasible(1e-2)))
@@ -134,6 +136,7 @@ func Adaptation(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.attach(e)
 
 	res := &Result{
 		ID:    "adaptation",

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"strings"
 
+	"lla/internal/core"
+	"lla/internal/obs"
 	"lla/internal/stats"
 )
 
@@ -136,7 +138,19 @@ type Options struct {
 	Quick   bool
 	Seed    int64
 	Workers int
+	// Observer, when non-nil, is attached to every engine an experiment
+	// creates, so a run streams per-iteration telemetry (KKT residuals,
+	// prices, utilities — see internal/obs) without changing the artifacts:
+	// observation is read-only and the engines remain bitwise-deterministic.
+	// Experiments that run several engines in sequence (sweeps, ablations)
+	// reattach the same observer to each; samples carry iteration numbers
+	// that restart at 1 per engine.
+	Observer *obs.Observer
 }
+
+// attach hooks the configured observer (if any) onto an engine. Every
+// experiment calls it right after core.NewEngine.
+func (o Options) attach(e *core.Engine) { e.Observe(o.Observer) }
 
 // f1, f2, f3 are numeric cell formatters.
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

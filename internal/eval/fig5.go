@@ -43,6 +43,7 @@ func Fig5(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.attach(e)
 		series := stats.NewSeries(cfg.name)
 		firstFeasible := -1
 		e.Run(iters, func(s core.Snapshot) {

@@ -40,6 +40,7 @@ func Fig6(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.attach(e)
 		series := stats.NewSeries(fmt.Sprintf("%d-tasks", 3*factor))
 		firstFeasible := -1
 		var last core.Snapshot

@@ -27,6 +27,7 @@ func Fig7(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.attach(e)
 
 	res := &Result{
 		ID:    "fig7",

@@ -39,6 +39,7 @@ func Fig8(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.attach(loop.Engine())
 
 	res := &Result{
 		ID:    "fig8",

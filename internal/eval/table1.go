@@ -22,6 +22,7 @@ func Table1(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.attach(e)
 	snap, converged := e.RunUntilConverged(iters, 1e-8, 50, 1e-3)
 
 	res := &Result{

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the debug mux served behind the CLIs' -debug-addr
+// flag:
+//
+//	/metrics        the registry in Prometheus text format
+//	/debug/vars     expvar JSON (process cmdline + memstats)
+//	/debug/pprof/   the full net/http/pprof profile suite
+//
+// reg may be nil, in which case /metrics serves an empty exposition.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	// Wire pprof explicitly rather than importing it for its DefaultServeMux
+	// side effect: the debug server must not leak onto any mux the embedding
+	// program serves application traffic from.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr (e.g. "127.0.0.1:6060"; port 0
+// picks a free port) in a background goroutine and returns the server and
+// its bound address. Callers own shutdown via srv.Close.
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable;
+// all methods are atomic and safe on a nil receiver (a nil counter is a
+// disabled counter — components hold possibly-nil handles and increment
+// unconditionally).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta <= 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float-valued metric that can go up and down. Safe on a nil
+// receiver, like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative buckets (Prometheus
+// histogram semantics). Safe on a nil receiver.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []uint64  // len(bounds)+1, non-cumulative
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// metric is one registered instance (family name + label set).
+type metric struct {
+	family string
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family carries the per-family metadata emitted once in the text format.
+type family struct {
+	help string
+	typ  string // "counter", "gauge", "histogram"
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Metric handles are cheap to use (atomic operations);
+// registration takes a mutex and should happen at attach time, not in hot
+// paths. Registering the same family+labels again returns the existing
+// handle, so independent components can share a metric.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	metrics  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		metrics:  make(map[string]*metric),
+	}
+}
+
+// renderLabels formats k/v pairs as a deterministic Prometheus label block.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the metric for family+labels, creating it via mk if new.
+// It panics when the name is already registered as a different type —
+// that is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help, typ string, labels []string, mk func(*metric)) *metric {
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.typ, typ))
+		}
+	} else {
+		r.families[name] = &family{help: help, typ: typ}
+	}
+	if m, ok := r.metrics[key]; ok {
+		return m
+	}
+	m := &metric{family: name, labels: ls}
+	mk(m)
+	r.metrics[key] = m
+	return m
+}
+
+// Counter returns (registering if needed) the counter for name and the
+// optional key/value label pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.lookup(name, help, "counter", labels, func(m *metric) { m.c = &Counter{} }).c
+}
+
+// Gauge returns (registering if needed) the gauge for name and labels.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.lookup(name, help, "gauge", labels, func(m *metric) { m.g = &Gauge{} }).g
+}
+
+// Histogram returns (registering if needed) the histogram for name and
+// labels, with the given ascending upper bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return r.lookup(name, help, "histogram", labels, func(m *metric) {
+		m.h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+	}).h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families and instances in
+// deterministic sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	byFamily := make(map[string][]*metric, len(r.families))
+	for _, m := range r.metrics {
+		byFamily[m.family] = append(byFamily[m.family], m)
+	}
+	fams := make(map[string]family, len(r.families))
+	for name, f := range r.families {
+		fams[name] = *f
+	}
+	r.mu.Unlock()
+
+	for _, name := range names {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.typ); err != nil {
+			return err
+		}
+		ms := byFamily[name]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].labels < ms[j].labels })
+		for _, m := range ms {
+			var err error
+			switch {
+			case m.c != nil:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", name, m.labels, m.c.Value())
+			case m.g != nil:
+				_, err = fmt.Fprintf(w, "%s%s %g\n", name, m.labels, m.g.Value())
+			case m.h != nil:
+				err = m.h.write(w, name, m.labels)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// write renders a histogram's cumulative buckets, sum and count.
+func (h *Histogram) write(w io.Writer, name, labels string) error {
+	h.mu.Lock()
+	bounds := append([]float64(nil), h.bounds...)
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	// Splice le="..." into the label block.
+	open := "{"
+	closing := "}"
+	inner := ""
+	if labels != "" {
+		inner = labels[1:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s%sle=%q%s %d\n", name, open, inner, fmt.Sprintf("%g", b), closing, cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s%sle=\"+Inf\"%s %d\n", name, open, inner, closing, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+	return err
+}

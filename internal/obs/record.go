@@ -1,0 +1,176 @@
+package obs
+
+import "sync"
+
+// IterationSample is one optimization iteration's telemetry, in the paper's
+// notation (see OBSERVABILITY.md for the full field reference):
+//
+//   - Mu[r] is the resource price mu_r of Equation 8.
+//   - Lambda is the flat concatenation of every task's path prices lambda_p
+//     (Equation 9), task-major in compiled task order.
+//   - KKTMax/KKTMean summarize the Equation 7 stationarity residuals over
+//     interior subtasks; both vanish at the optimum.
+//   - ShareSums[r] is the demand Σ share_r on resource r, to be read
+//     against Avail[r] (the capacity B_r of Equation 3).
+//   - Gamma[r] is the resource's current step size — the state of the
+//     Section 5.2 adaptive controller.
+//
+// Samples are filled by the component being observed; slices are reused
+// across iterations, so a consumer that stores samples must deep-copy them
+// (Ring already does).
+type IterationSample struct {
+	// Iteration counts completed engine iterations.
+	Iteration int `json:"iter"`
+	// Utility is the aggregate utility Σ_i U_i.
+	Utility float64 `json:"utility"`
+	// MaxResourceViolation is max_r (ShareSums[r] − B_r), clamped at 0.
+	MaxResourceViolation float64 `json:"max_res_viol"`
+	// MaxPathViolationFrac is the worst relative critical-time violation,
+	// clamped at 0.
+	MaxPathViolationFrac float64 `json:"max_path_viol"`
+	// KKTMax and KKTMean summarize the normalized Equation 7 stationarity
+	// residuals across subtasks strictly inside their latency bounds;
+	// KKTCount is how many such subtasks there were.
+	KKTMax   float64 `json:"kkt_max"`
+	KKTMean  float64 `json:"kkt_mean"`
+	KKTCount int     `json:"kkt_count"`
+	// Mu[r] is each resource's price (compiled resource order).
+	Mu []float64 `json:"mu"`
+	// ShareSums[r] is the total share demanded on each resource.
+	ShareSums []float64 `json:"share_sums"`
+	// Avail[r] is each resource's availability B_r (it can change at
+	// runtime via resource variation).
+	Avail []float64 `json:"avail"`
+	// Gamma[r] is each resource's current price step size.
+	Gamma []float64 `json:"gamma"`
+	// Lambda is the concatenation of per-task path-price vectors,
+	// task-major in compiled order.
+	Lambda []float64 `json:"lambda"`
+}
+
+// copyFrom deep-copies src into s, reusing s's slice capacity.
+func (s *IterationSample) copyFrom(src *IterationSample) {
+	mu, sums, avail, gamma, lambda := s.Mu, s.ShareSums, s.Avail, s.Gamma, s.Lambda
+	*s = *src
+	s.Mu = append(mu[:0], src.Mu...)
+	s.ShareSums = append(sums[:0], src.ShareSums...)
+	s.Avail = append(avail[:0], src.Avail...)
+	s.Gamma = append(gamma[:0], src.Gamma...)
+	s.Lambda = append(lambda[:0], src.Lambda...)
+}
+
+// Recorder receives per-iteration telemetry. The observed component calls
+// Begin once per iteration from its driving goroutine; a non-nil result is
+// a sample for the component to fill and hand back through Commit. Begin
+// may return nil to skip the iteration (downsampling). Implementations must
+// make Commit safe against concurrent readers of the recorded data, but
+// Begin/Commit themselves are only ever called from one goroutine at a
+// time — attach a Recorder instance to at most one engine.
+type Recorder interface {
+	Begin(iteration int) *IterationSample
+	Commit(*IterationSample)
+}
+
+// Ring is a fixed-capacity in-memory Recorder keeping the most recent
+// samples. The observed component fills a scratch sample owned by the ring;
+// Commit deep-copies it into the next slot under a short mutex, so
+// steady-state recording performs no heap allocation once every slot's
+// buffers have grown to the workload's size, and readers (Samples, Last)
+// never race with the writer.
+type Ring struct {
+	// Every downsamples: only iterations divisible by Every are recorded
+	// (0 or 1 records everything). Set before attaching.
+	Every int
+
+	scratch IterationSample
+
+	mu    sync.Mutex
+	slots []IterationSample
+	next  int
+	n     int
+	total int
+}
+
+// NewRing returns a ring recorder holding the last capacity samples.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]IterationSample, capacity)}
+}
+
+// Begin returns the scratch sample for iteration it, or nil when the
+// iteration is downsampled away.
+func (r *Ring) Begin(iteration int) *IterationSample {
+	if r.Every > 1 && iteration%r.Every != 0 {
+		return nil
+	}
+	return &r.scratch
+}
+
+// Commit copies the filled sample into the ring.
+func (r *Ring) Commit(s *IterationSample) {
+	r.mu.Lock()
+	r.slots[r.next].copyFrom(s)
+	r.next = (r.next + 1) % len(r.slots)
+	if r.n < len(r.slots) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns how many samples are currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total returns how many samples have been committed over the ring's
+// lifetime (retained or evicted).
+func (r *Ring) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Samples returns the retained samples oldest-first as deep copies, safe to
+// hold while recording continues.
+func (r *Ring) Samples() []IterationSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]IterationSample, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.slots)
+	}
+	for i := 0; i < r.n; i++ {
+		out[i].copyFrom(&r.slots[(start+i)%len(r.slots)])
+	}
+	return out
+}
+
+// Last returns a deep copy of the most recent sample, and whether one
+// exists.
+func (r *Ring) Last() (IterationSample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return IterationSample{}, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i += len(r.slots)
+	}
+	var out IterationSample
+	out.copyFrom(&r.slots[i])
+	return out, true
+}
+
+// Reset discards all retained samples.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.n, r.next, r.total = 0, 0, 0
+	r.mu.Unlock()
+}

@@ -1,0 +1,89 @@
+package obs
+
+// Standard metric sets. Components resolve their handles once at attach
+// time (registration locks the registry) and afterwards update them with
+// atomic operations only. OBSERVABILITY.md documents every name.
+
+// EngineMetrics is the synchronous optimizer's standard metric set.
+type EngineMetrics struct {
+	// Iterations counts completed engine iterations.
+	Iterations *Counter
+	// Utility is the aggregate utility Σ_i U_i after the last iteration.
+	Utility *Gauge
+	// KKTMax is the worst normalized Equation 7 stationarity residual.
+	KKTMax *Gauge
+	// MaxResourceViolation and MaxPathViolation mirror the Snapshot
+	// diagnostics of the same names.
+	MaxResourceViolation *Gauge
+	MaxPathViolation     *Gauge
+}
+
+// NewEngineMetrics registers (or re-resolves) the engine metric set on r.
+func NewEngineMetrics(r *Registry) *EngineMetrics {
+	return &EngineMetrics{
+		Iterations:           r.Counter("lla_engine_iterations_total", "Completed optimizer iterations."),
+		Utility:              r.Gauge("lla_engine_utility", "Aggregate utility after the last iteration."),
+		KKTMax:               r.Gauge("lla_engine_kkt_residual_max", "Worst normalized KKT stationarity residual (Eq 7)."),
+		MaxResourceViolation: r.Gauge("lla_engine_max_resource_violation", "Worst resource capacity violation, share units (Eq 3)."),
+		MaxPathViolation:     r.Gauge("lla_engine_max_path_violation", "Worst relative critical-time violation (Eq 4)."),
+	}
+}
+
+// ResourceMetrics is the per-resource gauge set, shared by the engine and
+// the distributed resource nodes (labelled by resource ID).
+type ResourceMetrics struct {
+	// ShareSum is the total share demanded on the resource (Σ share_r).
+	ShareSum *Gauge
+	// Availability is the capacity B_r.
+	Availability *Gauge
+	// Utilization is ShareSum / Availability (1.0 = saturated; LLA's
+	// optimum saturates congested resources exactly).
+	Utilization *Gauge
+	// Price is the resource price mu_r (Eq 8).
+	Price *Gauge
+}
+
+// NewResourceMetrics registers the per-resource gauges for resource id.
+func NewResourceMetrics(r *Registry, id string) *ResourceMetrics {
+	return &ResourceMetrics{
+		ShareSum:     r.Gauge("lla_resource_share_sum", "Total share demanded on the resource.", "resource", id),
+		Availability: r.Gauge("lla_resource_availability", "Resource availability B_r.", "resource", id),
+		Utilization:  r.Gauge("lla_resource_utilization", "Demand over availability (1.0 = saturated).", "resource", id),
+		Price:        r.Gauge("lla_resource_price", "Resource price mu_r (Eq 8).", "resource", id),
+	}
+}
+
+// DistMetrics is the distributed runtime's standard metric set — the live
+// counterpart of the dist Result/AsyncResult counters.
+type DistMetrics struct {
+	// Rounds counts fully reported synchronous rounds (coordinator view).
+	Rounds *Counter
+	// Retransmits counts reliability-layer re-sends (sender timeouts,
+	// receiver-side stale recovery, async idle heartbeats).
+	Retransmits *Counter
+	// RejectedStale counts deliveries rejected as duplicates or
+	// reordered-stale (round gating or per-sender sequence dedup).
+	RejectedStale *Counter
+	// DegradedRounds counts async controller steps computed while a used
+	// resource's price lease had expired.
+	DegradedRounds *Counter
+	// LeaseExpirations counts lease expirations (coordinator report leases
+	// and async per-resource price leases).
+	LeaseExpirations *Counter
+	// RoundSeconds is the distribution of coordinator-observed gaps
+	// between completed rounds.
+	RoundSeconds *Histogram
+}
+
+// NewDistMetrics registers the distributed runtime metric set on r.
+func NewDistMetrics(r *Registry) *DistMetrics {
+	return &DistMetrics{
+		Rounds:           r.Counter("lla_dist_rounds_total", "Fully reported synchronous rounds."),
+		Retransmits:      r.Counter("lla_dist_retransmits_total", "Messages re-sent by the reliability layer."),
+		RejectedStale:    r.Counter("lla_dist_rejected_stale_total", "Deliveries rejected as duplicate or stale."),
+		DegradedRounds:   r.Counter("lla_dist_degraded_rounds_total", "Async compute steps taken on frozen (stale) prices."),
+		LeaseExpirations: r.Counter("lla_dist_lease_expirations_total", "Report/price leases that expired."),
+		RoundSeconds: r.Histogram("lla_dist_round_seconds", "Gap between completed rounds at the coordinator.",
+			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
+	}
+}

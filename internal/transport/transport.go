@@ -1,9 +1,13 @@
 // Package transport provides the messaging substrate for the distributed
-// LLA runtime: named endpoints exchanging small JSON messages. Two
-// implementations are provided — an in-process channel network (with
-// optional delivery delay and loss injection for robustness tests) and a
-// TCP network with length-prefixed JSON frames for genuinely distributed
-// deployments (cmd/lla-node).
+// LLA runtime (the message-passing system shape of Section 4.1): named
+// endpoints exchanging small JSON messages. Two base networks are provided
+// — an in-process channel network and a TCP network with length-prefixed
+// JSON frames for genuinely distributed deployments (cmd/lla-node) — plus
+// Chaos, a wrapper that composes over either of them and injects
+// deterministic, seeded faults (loss, delay/jitter, duplication,
+// reordering, partitions, node crash/restart) for robustness testing. The
+// in-process network's own DelayMs/DropRate knobs are a convenience subset
+// backed by the same seeded injector Chaos uses.
 package transport
 
 import (

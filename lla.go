@@ -24,6 +24,9 @@
 //   - The simulator: Simulator, a discrete-event proportional-share world
 //     for enacting and measuring assignments.
 //   - Online model error correction: Corrector.
+//   - Observability: Observer (per-iteration telemetry via RingRecorder/
+//     JSONLWriter, a Prometheus-text MetricsRegistry, trace events) and
+//     ServeDebug for the /metrics + pprof endpoint; see OBSERVABILITY.md.
 //
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // mapping between the paper's sections and the packages.
@@ -35,6 +38,7 @@ import (
 	"lla/internal/core"
 	"lla/internal/dist"
 	"lla/internal/errcorr"
+	"lla/internal/obs"
 	"lla/internal/share"
 	"lla/internal/sim"
 	"lla/internal/task"
@@ -250,6 +254,64 @@ func NewDistributed(w *Workload, cfg Config, net Network) (*Distributed, error) 
 	return dist.New(w, cfg, net)
 }
 
+// Observability (see OBSERVABILITY.md). An Observer bundles the three
+// channels — per-iteration Recorder, metrics Registry, trace Sink — and
+// attaches to an Engine (Engine.Observe) or a Distributed runtime
+// (Distributed.Observe); attaching costs nothing on the unobserved hot path.
+type (
+	// Observer bundles the observability channels; any field may be nil.
+	Observer = obs.Observer
+	// IterationSample is one iteration's full telemetry: utility, KKT
+	// residuals, constraint violations, prices, demands, step sizes.
+	IterationSample = obs.IterationSample
+	// Recorder receives IterationSamples (see Ring and JSONL).
+	Recorder = obs.Recorder
+	// MetricsRegistry holds named counters/gauges/histograms and renders
+	// them in Prometheus text format.
+	MetricsRegistry = obs.Registry
+	// TraceEvent is a structured runtime event (convergence, workload
+	// change, lease expiry, degradation transitions).
+	TraceEvent = obs.Event
+	// TraceSink receives TraceEvents (see MemorySink and JSONL).
+	TraceSink = obs.Sink
+	// RingRecorder keeps the last N samples in memory.
+	RingRecorder = obs.Ring
+	// MemorySink accumulates trace events in memory.
+	MemorySink = obs.Memory
+	// JSONLWriter streams samples and events as JSON lines; it is both a
+	// Recorder and a TraceSink.
+	JSONLWriter = obs.JSONL
+)
+
+var (
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewRingRecorder returns a recorder keeping the last n samples.
+	NewRingRecorder = obs.NewRing
+	// NewJSONLWriter returns a JSONL telemetry writer over w.
+	NewJSONLWriter = obs.NewJSONL
+	// ServeDebug starts an HTTP server exposing /metrics, /debug/vars and
+	// /debug/pprof for a registry.
+	ServeDebug = obs.Serve
+	// DebugHandler returns the same endpoints as an http.Handler.
+	DebugHandler = obs.DebugHandler
+)
+
+// FaultPolicy tunes the distributed fault-tolerance machinery
+// (retransmission backoff and failure-detection leases).
+type FaultPolicy = dist.FaultPolicy
+
+var (
+	// DefaultFaultPolicy returns the retransmission/lease defaults.
+	DefaultFaultPolicy = dist.DefaultFaultPolicy
+	// RunAsyncWithPolicy is RunAsync with an explicit fault policy.
+	RunAsyncWithPolicy = dist.RunAsyncWithPolicy
+	// RunAsyncObserved is RunAsyncWithPolicy with an observer attached:
+	// dist counters increment live, resource gauges track prices, and the
+	// trace sink sees degradation transitions.
+	RunAsyncObserved = dist.RunAsyncObserved
+)
+
 // AsyncResult summarizes an asynchronous distributed run.
 type AsyncResult = dist.AsyncResult
 
@@ -259,8 +321,10 @@ type AsyncResult = dist.AsyncResult
 // delays (see internal/dist documentation).
 var RunAsync = dist.RunAsync
 
-// NewInprocNetwork returns an in-process network (with optional delay/loss
-// injection).
+// NewInprocNetwork returns an in-process network. Its DelayMs/DropRate
+// knobs cover simple robustness tests; for the full fault repertoire
+// (jitter, duplication, reordering, partitions, crash/restart) wrap any
+// network in NewChaosNetwork.
 func NewInprocNetwork(cfg InprocConfig) Network {
 	return transport.NewInproc(cfg)
 }
@@ -271,6 +335,16 @@ type InprocConfig = transport.InprocConfig
 // NewTCPNetwork returns a TCP network with a logical-name registry.
 func NewTCPNetwork(registry map[string]string) *transport.TCP {
 	return transport.NewTCP(registry)
+}
+
+// ChaosConfig tunes deterministic, seeded fault injection.
+type ChaosConfig = transport.ChaosConfig
+
+// NewChaosNetwork wraps any Network with deterministic fault injection —
+// loss, delay/jitter, duplication, reordering, partitions and node
+// crash/restart — for robustness testing (see README "Chaos testing").
+func NewChaosNetwork(inner Network, cfg ChaosConfig) *transport.Chaos {
+	return transport.NewChaos(inner, cfg)
 }
 
 // Baselines (offline deadline-slicing heuristics and the centralized
