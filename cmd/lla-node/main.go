@@ -10,7 +10,13 @@
 //	lla-node -workload base -registry reg.json -role resource -id r0 -rounds 500
 //	lla-node -workload base -registry reg.json -role controller -id task1 -rounds 500
 //	lla-node -workload base -demo -rounds 500        # all nodes in-process
+//	lla-node -workload base -demo -workers 4         # shard local optimizer work
 //	lla-node -workload base -print-registry          # template registry
+//
+// -workers sets core.Config.Workers for every engine-backed computation the
+// process hosts (0 = GOMAXPROCS, 1 = serial). The optimizer's sharded
+// iteration is bitwise-deterministic, so the setting changes wall-clock
+// time only, never results.
 package main
 
 import (
@@ -53,9 +59,11 @@ func run(ctx context.Context, args []string) error {
 	printRegistry := fs.Bool("print-registry", false, "print a template registry for the workload and exit")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:8080)")
 	tracePath := fs.String("trace", "", "append JSONL trace events to this file")
+	workers := fs.Int("workers", 0, "optimizer worker shards for engine-backed computation in this process: 0 = GOMAXPROCS, 1 = serial (results are bitwise-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := core.Config{Workers: *workers}
 
 	o, obsDone, err := buildObserver(*debugAddr, *tracePath)
 	if err != nil {
@@ -82,7 +90,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	if *demo {
-		return runDemo(ctx, w, *rounds, o)
+		return runDemo(ctx, w, cfg, *rounds, o)
 	}
 
 	if *registryPath == "" {
@@ -101,7 +109,7 @@ func run(ctx context.Context, args []string) error {
 	switch *role {
 	case "resource":
 		fmt.Fprintf(os.Stderr, "resource node %s: running %d rounds\n", *id, *rounds)
-		mu, err := dist.RunResourceObserved(ctx, w, core.Config{}, net, *id, *rounds, o)
+		mu, err := dist.RunResourceObserved(ctx, w, cfg, net, *id, *rounds, o)
 		if err != nil {
 			return err
 		}
@@ -109,7 +117,7 @@ func run(ctx context.Context, args []string) error {
 		return nil
 	case "controller":
 		fmt.Fprintf(os.Stderr, "controller node %s: running %d rounds\n", *id, *rounds)
-		lats, utility, err := dist.RunControllerObserved(ctx, w, core.Config{}, net, *id, *rounds, o)
+		lats, utility, err := dist.RunControllerObserved(ctx, w, cfg, net, *id, *rounds, o)
 		if err != nil {
 			return err
 		}
@@ -191,12 +199,12 @@ func buildObserver(debugAddr, tracePath string) (*obs.Observer, func(), error) {
 }
 
 // runDemo hosts the full deployment in one process over TCP loopback.
-func runDemo(ctx context.Context, w *workload.Workload, rounds int, o *obs.Observer) error {
+func runDemo(ctx context.Context, w *workload.Workload, cfg core.Config, rounds int, o *obs.Observer) error {
 	registry := make(map[string]string)
 	for _, addr := range dist.Addresses(w) {
 		registry[addr] = "127.0.0.1:0"
 	}
-	rt, err := dist.New(w, core.Config{}, transport.NewTCP(registry))
+	rt, err := dist.New(w, cfg, transport.NewTCP(registry))
 	if err != nil {
 		return err
 	}

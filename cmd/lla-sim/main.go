@@ -1,11 +1,13 @@
-// Command lla-sim regenerates the paper's evaluation artifacts: Table 1 and
-// Figures 5-8. Each experiment prints its tables, a downsampled view of its
-// figure series, and paper-vs-measured notes; -csv dumps the full series for
-// external plotting.
+// Command lla-sim regenerates the paper's evaluation artifacts — Table 1
+// and Figures 5-8 — plus the repo's own studies (ablations, percentile
+// sweeps, the churn admission-control experiment). Each experiment prints
+// its tables, a downsampled view of its figure series, and
+// paper-vs-measured notes; -csv dumps the full series for external
+// plotting.
 //
 //	lla-sim -experiment table1
 //	lla-sim -experiment all -csv out/
-//	lla-sim -experiment fig8 -quick
+//	lla-sim -experiment churn -quick
 //	lla-sim -experiment fig5 -trace fig5.jsonl -debug-addr localhost:8080
 //
 // -trace streams one JSONL line per optimizer iteration (KKT residuals,
@@ -18,11 +20,40 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"lla/internal/eval"
 	"lla/internal/obs"
 	"lla/internal/stats"
 )
+
+// experiments is the single registry of runnable experiments: the -experiment
+// flag's help text, the name lookup, and the "all" execution order are all
+// derived from this slice, so adding an entry here is the whole registration.
+var experiments = []struct {
+	id string
+	fn func(eval.Options) (*eval.Result, error)
+}{
+	{"table1", eval.Table1},
+	{"fig5", eval.Fig5},
+	{"fig6", eval.Fig6},
+	{"fig7", eval.Fig7},
+	{"fig8", eval.Fig8},
+	{"percentiles", eval.Percentiles},
+	{"ablation-weights", eval.AblationWeights},
+	{"ablation-baselines", eval.AblationBaselines},
+	{"adaptation", eval.Adaptation},
+	{"churn", eval.Churn},
+}
+
+// experimentIDs lists every registered experiment id, in run order.
+func experimentIDs() []string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.id
+	}
+	return ids
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -33,7 +64,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("lla-sim", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "experiment: table1, fig5, fig6, fig7, fig8, percentiles, ablation-weights, ablation-baselines, adaptation, all")
+	experiment := fs.String("experiment", "all",
+		"experiment: "+strings.Join(experimentIDs(), ", ")+", all")
 	quick := fs.Bool("quick", false, "shrink iteration budgets (smoke test)")
 	seed := fs.Int64("seed", 1, "simulation seed (fig8)")
 	workers := fs.Int("workers", 0, "optimizer shards per iteration: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
@@ -73,25 +105,14 @@ func run(args []string) error {
 		}
 	}
 
-	runners := map[string]func(eval.Options) (*eval.Result, error){
-		"table1":             eval.Table1,
-		"fig5":               eval.Fig5,
-		"fig6":               eval.Fig6,
-		"fig7":               eval.Fig7,
-		"fig8":               eval.Fig8,
-		"percentiles":        eval.Percentiles,
-		"ablation-weights":   eval.AblationWeights,
-		"ablation-baselines": eval.AblationBaselines,
-		"adaptation":         eval.Adaptation,
-	}
-	order := []string{
-		"table1", "fig5", "fig6", "fig7", "fig8",
-		"percentiles", "ablation-weights", "ablation-baselines", "adaptation",
+	runners := make(map[string]func(eval.Options) (*eval.Result, error), len(experiments))
+	for _, e := range experiments {
+		runners[e.id] = e.fn
 	}
 
 	var selected []string
 	if *experiment == "all" {
-		selected = order
+		selected = experimentIDs()
 	} else if _, ok := runners[*experiment]; ok {
 		selected = []string{*experiment}
 	} else {

@@ -1,14 +1,38 @@
 package main
 
 import (
+	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "nope"}); err == nil {
 		t.Fatal("unknown experiment should fail")
+	}
+}
+
+// TestHelpListsEveryExperiment rebuilds the -experiment usage line the way
+// run does and checks every registered runner appears in it: the registry
+// slice is the single source of truth, so a new experiment cannot be
+// runnable but undocumented.
+func TestHelpListsEveryExperiment(t *testing.T) {
+	fs := flag.NewFlagSet("lla-sim", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.String("experiment", "all", "experiment: "+strings.Join(experimentIDs(), ", ")+", all")
+	fs.Usage()
+	help := buf.String()
+	for _, e := range experiments {
+		if !strings.Contains(help, e.id) {
+			t.Errorf("help text does not list experiment %q:\n%s", e.id, help)
+		}
+	}
+	if !strings.Contains(help, "churn") {
+		t.Errorf("help text missing the churn experiment:\n%s", help)
 	}
 }
 

@@ -1,10 +1,14 @@
-// Admission: admission control layered on top of LLA, as the paper suggests
-// (Section 3.2: "We assume any admission control is layered on top of our
-// approach"). Tasks ask to join a running system; each candidate is first
-// screened by the static necessary conditions and then admitted only if LLA
-// converges to a feasible allocation with it included (the paper's
-// Section 5.4 schedulability test). Rejected tasks leave the running
-// allocation untouched; admitted tasks warm-start from the current prices.
+// Admission: price-driven admission control layered on top of LLA, as the
+// paper suggests (Section 3.2: "We assume any admission control is layered
+// on top of our approach"). A running engine is wrapped in an
+// AdmissionController; each arriving task passes three gates — the static
+// necessary conditions, a price screen against the live dual variables, and
+// a bounded warm-started trial optimization on a forked scratch engine
+// (the paper's Section 5.4 schedulability test, made incremental) — and
+// admitted tasks are enacted with a warm-started re-convergence. Rejected
+// candidates are quarantined with event-counted backoff so repeat offers
+// stay cheap, and a price-guided Placer picks each subtask's resource at
+// the live prices instead of trusting the advisory bindings.
 //
 //	go run ./examples/admission
 package main
@@ -23,43 +27,36 @@ func main() {
 	}
 }
 
-// pipeline builds an n-stage chain task across the cluster's resources.
-func pipeline(name string, criticalMs float64, execMs float64, resources []string) (*lla.Task, error) {
-	b := lla.NewTask(name, criticalMs).Trigger(lla.Periodic(100))
-	var names []string
-	for i, r := range resources {
-		sn := fmt.Sprintf("%s-s%d", name, i)
-		b.Subtask(sn, r, execMs)
-		names = append(names, sn)
+// offer wraps a template task in a placed candidate: the bindings inside
+// tpl are advisory, and a nil candidate set lets the placer choose any
+// workload resource per stage at the live prices.
+func offer(ctrl *lla.AdmissionController, tpl lla.ChurnTemplate, name string, advisory []string) error {
+	t, curve, err := tpl.Instantiate(name, advisory)
+	if err != nil {
+		return err
 	}
-	b.Chain(names...)
-	return b.Build()
+	d, err := ctrl.OfferPlaced(lla.PlacedCandidate{Task: t, Curve: curve})
+	if err != nil {
+		return err
+	}
+	report(d)
+	return nil
 }
 
-// admit runs the two-stage admission test for candidate inside workload w
-// (already containing it). It returns whether the system remains
-// schedulable, using a fresh engine so the running system is not disturbed.
-func admit(w *lla.Workload) (bool, string) {
-	// Stage 1: static necessary conditions (cheap pre-filter).
-	rep, err := lla.AnalyzeWorkload(w)
-	if err != nil {
-		return false, err.Error()
+// report prints one decision-log entry.
+func report(d lla.AdmissionDecision) {
+	verdict := "REJECT"
+	if d.Admitted {
+		verdict = "ADMIT "
 	}
-	if !rep.Feasible() {
-		return false, "rejected by static floors: " + rep.String()
+	if d.Kind == "departure" {
+		verdict = "DEPART"
 	}
-	// Stage 2: the sufficient test — run LLA and require feasible
-	// convergence (Section 5.4).
-	engine, err := lla.NewEngine(w, lla.Config{})
-	if err != nil {
-		return false, err.Error()
+	fmt.Printf("%s %-14s gate=%-10s %s\n", verdict, d.Task, d.Stage, d.Reason)
+	if d.Admitted && d.ReconvergeIters > 0 {
+		fmt.Printf("       re-converged in %d warm-started iterations, utility now %.2f\n",
+			d.ReconvergeIters, d.Utility)
 	}
-	snap, ok := engine.RunUntilConverged(4000, 1e-7, 20, 1e-3)
-	if !ok || !snap.Feasible(1e-3) {
-		return false, fmt.Sprintf("LLA does not converge feasibly (resViol %.3f, pathViol %.3f)",
-			snap.MaxResourceViolation, snap.MaxPathViolationFrac)
-	}
-	return true, fmt.Sprintf("feasible at utility %.2f", snap.Utility)
 }
 
 func run() error {
@@ -70,8 +67,9 @@ func run() error {
 	}
 	resIDs := []string{"node-a", "node-b", "wan"}
 
-	// The running system starts with one resident task.
-	resident, err := pipeline("resident", 120, 4, resIDs)
+	// The running system starts with one resident three-stage pipeline.
+	residentTpl := lla.ChurnTemplate{Name: "resident", CriticalMs: 150, StageExecMs: []float64{4, 3, 4}, UtilityK: 2}
+	resident, curve, err := residentTpl.Instantiate("resident", resIDs)
 	if err != nil {
 		return err
 	}
@@ -79,57 +77,66 @@ func run() error {
 		Name:      "admission",
 		Tasks:     []*lla.Task{resident},
 		Resources: resources,
-		Curves:    map[string]lla.Curve{"resident": lla.Linear{K: 2, CMs: 120}},
+		Curves:    map[string]lla.Curve{"resident": curve},
 	}
 	engine, err := lla.NewEngine(w, lla.Config{})
 	if err != nil {
 		return err
 	}
+	defer engine.Close()
 	snap, _ := engine.RunUntilConverged(4000, 1e-7, 20, 1e-3)
 	fmt.Printf("running system: 1 task, utility %.2f\n\n", snap.Utility)
 
-	// A stream of candidates with progressively tighter demands.
-	candidates := []struct {
-		name     string
-		critical float64
-		exec     float64
-	}{
-		{"batch-analytics", 400, 6},
-		{"interactive", 90, 5},
-		{"tight-deadline", 25, 4}, // needs ~(4+lag)/share per stage; infeasible
-		{"impossible", 10, 5},     // fails even the static floors
+	// The controller screens offers against the converged prices; the
+	// placer rebinds each stage to the cheapest feasible resource.
+	ctrl := lla.NewAdmissionController(engine, lla.AdmissionConfig{})
+	ctrl.UsePlacer(lla.NewPlacer(lla.PlacerConfig{}))
+
+	// A stream of candidates with progressively tighter demands. Advisory
+	// bindings deliberately pile onto node-a; the placer spreads them.
+	loose := lla.ChurnTemplate{Name: "batch", CriticalMs: 400, StageExecMs: []float64{6, 5}, UtilityK: 2}
+	medium := lla.ChurnTemplate{Name: "interactive", CriticalMs: 90, StageExecMs: []float64{5, 4}, UtilityK: 2}
+	impossible := lla.ChurnTemplate{Name: "impossible", CriticalMs: 8, StageExecMs: []float64{5, 5}, UtilityK: 2}
+	advisory := []string{"node-a", "node-a"}
+
+	if err := offer(ctrl, loose, "batch", advisory); err != nil {
+		return err
+	}
+	if err := offer(ctrl, medium, "interactive", advisory); err != nil {
+		return err
+	}
+	// Fails the static floors: no allocation can meet an 8 ms deadline.
+	if err := offer(ctrl, impossible, "impossible", advisory); err != nil {
+		return err
+	}
+	// An immediate repeat offer hits the quarantine, not the full gates.
+	if err := offer(ctrl, impossible, "impossible", advisory); err != nil {
+		return err
 	}
 
-	for _, c := range candidates {
-		cand, err := pipeline(c.name, c.critical, c.exec, resIDs)
-		if err != nil {
-			return err
-		}
-		trial := w.Clone()
-		trial.Tasks = append(trial.Tasks, cand)
-		trial.Curves[c.name] = lla.Linear{K: 2, CMs: c.critical}
+	// A departure frees capacity; the remaining tasks re-converge warm.
+	d, err := ctrl.Remove("batch")
+	if err != nil {
+		return err
+	}
+	report(d)
 
-		ok, why := admit(trial)
-		if !ok {
-			fmt.Printf("REJECT %-16s %s\n", c.name, why)
-			continue
-		}
-		fmt.Printf("ADMIT  %-16s %s\n", c.name, why)
-		// Enact: swap the running engine onto the accepted workload,
-		// warm-starting from the current prices.
-		w = trial
-		if err := engine.ReplaceWorkload(w); err != nil {
-			return err
-		}
-		snap, converged := engine.RunUntilConverged(4000, 1e-7, 20, 1e-3)
-		fmt.Printf("       system now %d tasks, re-converged=%v at iteration %d, utility %.2f\n",
-			len(w.Tasks), converged, snap.Iteration, snap.Utility)
+	// Enough controller events have passed that the quarantine has
+	// expired: the repeat offer is evaluated for real again (and fails the
+	// same static gate — backoff just makes retries cheap, not successful).
+	if err := offer(ctrl, impossible, "impossible", advisory); err != nil {
+		return err
 	}
 
 	fmt.Println("\nfinal allocation:")
 	final := engine.Snapshot()
-	for ti, t := range w.Tasks {
-		fmt.Printf("  %-16s crit.path %6.2f / %6.0f ms\n", t.Name, final.CriticalPathMs[ti], t.CriticalMs)
+	for ti, t := range engine.Problem().Workload().Tasks {
+		fmt.Printf("  %-14s crit.path %6.2f / %6.0f ms, stages on", t.Name, final.CriticalPathMs[ti], t.CriticalMs)
+		for _, s := range t.Subtasks {
+			fmt.Printf(" %s", s.Resource)
+		}
+		fmt.Println()
 	}
+	fmt.Printf("\ndecision log: %d entries, final utility %.2f\n", len(ctrl.Log()), engine.Snapshot().Utility)
 	return nil
 }

@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"lla/internal/admit"
+	"lla/internal/core"
+	"lla/internal/transport"
+	"lla/internal/workload"
+)
+
+// TestCoordinatorAdmission runs a deployment on an in-process network and
+// queries admission from a client endpoint mid-run: a loose candidate
+// passes both coordinator gates, an impossible deadline is rejected
+// statically, and both decisions land on the run's Result.
+func TestCoordinatorAdmission(t *testing.T) {
+	w := workload.Base()
+	net := transport.NewInproc(transport.InprocConfig{})
+	rt, err := New(w, core.Config{}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	client, err := net.Endpoint("client/admission")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	done := make(chan *Result, 1)
+	errs := make(chan error, 1)
+	go func() {
+		res, err := rt.Run(4000)
+		errs <- err
+		done <- res
+	}()
+
+	ok, err := QueryAdmission(client, AdmissionQuery{
+		Name:        "newbie",
+		CriticalMs:  400,
+		StageExecMs: []float64{4, 3},
+		Resources:   []string{w.Resources[0].ID, w.Resources[1].ID},
+		UtilityK:    2,
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok.Admitted || ok.Stage != admit.StagePrice {
+		t.Fatalf("loose candidate: %+v", ok)
+	}
+
+	bad, err := QueryAdmission(client, AdmissionQuery{
+		Name:        "impossible",
+		CriticalMs:  5,
+		StageExecMs: []float64{5, 5},
+		Resources:   []string{w.Resources[0].ID, w.Resources[1].ID},
+		UtilityK:    2,
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Admitted || bad.Stage != admit.StageStatic {
+		t.Fatalf("impossible candidate: %+v", bad)
+	}
+
+	rt.Shutdown()
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if len(res.Admissions) != 2 {
+		t.Fatalf("recorded %d admission decisions, want 2: %+v", len(res.Admissions), res.Admissions)
+	}
+	if res.Admissions[0] != ok || res.Admissions[1] != bad {
+		t.Fatalf("recorded decisions disagree with answers:\n%+v\nvs\n%+v %+v", res.Admissions, ok, bad)
+	}
+}
+
+// TestAdmissionQueryTimeout checks the client helper fails cleanly when no
+// coordinator answers.
+func TestAdmissionQueryTimeout(t *testing.T) {
+	net := transport.NewInproc(transport.InprocConfig{RegistrationWait: time.Millisecond})
+	client, err := net.Endpoint("client/lonely")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	_, err = QueryAdmission(client, AdmissionQuery{
+		Name: "nobody-home", CriticalMs: 100, StageExecMs: []float64{1}, Resources: []string{"r0"}, UtilityK: 2,
+	}, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected an error with no coordinator on the network")
+	}
+}

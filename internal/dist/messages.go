@@ -55,11 +55,13 @@ type finMsg struct {
 
 // Message kind tags.
 const (
-	kindPrice   = "price"
-	kindLatency = "latency"
-	kindReport  = "report"
-	kindStop    = "stop"
-	kindFin     = "fin"
+	kindPrice         = "price"
+	kindLatency       = "latency"
+	kindReport        = "report"
+	kindStop          = "stop"
+	kindFin           = "fin"
+	kindAdmitQuery    = "admitQuery"
+	kindAdmitDecision = "admitDecision"
 )
 
 // Address helpers: resources and controllers get deterministic names.

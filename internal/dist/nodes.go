@@ -59,6 +59,10 @@ type resourceNode struct {
 	// therefore no-ops) unless observability is attached before run.
 	mRetransmits, mRejectedStale *obs.Counter
 	rm                           *obs.ResourceMetrics
+	// liveMu mirrors the agent's price after every completed round. Unlike
+	// rm it is always on: the coordinator reads it (atomically, from its own
+	// goroutine) to answer admission queries against fresh prices.
+	liveMu obs.Gauge
 }
 
 // newResourceNode wires a resource agent to an endpoint.
@@ -81,6 +85,7 @@ func newResourceNode(p *core.Problem, ri int, agent *core.ResourceAgent, ep tran
 		}
 		n.subIdx[tn+"/"+p.Tasks[ti].SubtaskNames[si]] = sub
 	}
+	n.liveMu.Set(agent.Mu)
 	return n
 }
 
@@ -236,6 +241,7 @@ func (n *resourceNode) run(maxRounds int) error {
 			sum += n.p.Tasks[ti].Share[si].Share(n.lat[sub])
 		}
 		n.agent.UpdatePrice(sum)
+		n.liveMu.Set(n.agent.Mu)
 		if n.rm != nil {
 			avail := n.p.Resources[n.ri].Availability
 			n.rm.ShareSum.Set(sum)

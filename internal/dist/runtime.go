@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"lla/internal/admit"
 	"lla/internal/core"
 	"lla/internal/obs"
 	"lla/internal/stats"
@@ -26,6 +27,7 @@ type Runtime struct {
 	coordinator transport.Endpoint
 
 	fp       FaultPolicy
+	admitCfg admit.Config
 	stop     chan struct{}
 	stopOnce sync.Once
 
@@ -147,6 +149,9 @@ type Result struct {
 	// LeaseExpirations counts coordinator-observed report leases expiring: a
 	// controller stayed silent longer than FaultPolicy.LeaseAfter.
 	LeaseExpirations int64
+	// Admissions records every admission query the coordinator answered
+	// during the run, in arrival order (see admission.go).
+	Admissions []AdmissionDecision
 }
 
 // Run executes exactly rounds synchronous rounds and returns the final
@@ -222,6 +227,10 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 			case m, ok := <-r.coordinator.Recv():
 				if !ok {
 					return
+				}
+				if m.Kind == kindAdmitQuery {
+					r.handleAdmitQuery(m, res)
+					continue
 				}
 				if m.Kind != kindReport {
 					continue

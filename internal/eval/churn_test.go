@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChurnQuick runs the churn experiment in quick mode and checks the
+// acceptance property: the gated policy keeps the live system feasible at
+// every event while the admit-everything baseline does not.
+func TestChurnQuick(t *testing.T) {
+	res, err := Churn(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if strings.Contains(out, "verdict: FAILED") {
+		t.Fatalf("churn verdict failed:\n%s", out)
+	}
+	if !strings.Contains(out, "gated violation events: 0") {
+		t.Fatalf("gated policy admitted infeasible work:\n%s", out)
+	}
+}
+
+// TestChurnDeterministicAcrossWorkers renders the experiment at two worker
+// counts; the engine's sharded iteration is bitwise-deterministic, so the
+// reports must match byte for byte.
+func TestChurnDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := Churn(Options{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Churn(Options{Quick: true, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render() != sharded.Render() {
+		t.Fatalf("churn report differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=3 ---\n%s",
+			serial.Render(), sharded.Render())
+	}
+}

@@ -53,6 +53,62 @@ func NewResourceMetrics(r *Registry, id string) *ResourceMetrics {
 	}
 }
 
+// AdmitMetrics is the admission controller's standard metric set — the live
+// counterpart of its returned decision log (the internal/admit tests assert
+// the two agree exactly).
+type AdmitMetrics struct {
+	// Considered counts arrival offers presented to the controller.
+	Considered *Counter
+	// Admitted counts offers that passed every gate and were enacted.
+	Admitted *Counter
+	// RejectedStatic/Price/Trial/Quarantine count rejections by the gate
+	// that fired (stage label on one metric name).
+	RejectedStatic     *Counter
+	RejectedPrice      *Counter
+	RejectedTrial      *Counter
+	RejectedQuarantine *Counter
+	// Departures counts resident tasks removed.
+	Departures *Counter
+	// Resident is the number of tasks currently in the live workload.
+	Resident *Gauge
+	// ReconvergeIters is the distribution of live-engine iterations needed
+	// to re-converge after an enacted change.
+	ReconvergeIters *Histogram
+}
+
+// NewAdmitMetrics registers the admission metric set on r.
+func NewAdmitMetrics(r *Registry) *AdmitMetrics {
+	return &AdmitMetrics{
+		Considered:         r.Counter("lla_admit_considered_total", "Arrival offers presented to the admission controller."),
+		Admitted:           r.Counter("lla_admit_admitted_total", "Offers admitted and enacted."),
+		RejectedStatic:     r.Counter("lla_admit_rejected_total", "Offers rejected, by gate.", "stage", "static"),
+		RejectedPrice:      r.Counter("lla_admit_rejected_total", "Offers rejected, by gate.", "stage", "price"),
+		RejectedTrial:      r.Counter("lla_admit_rejected_total", "Offers rejected, by gate.", "stage", "trial"),
+		RejectedQuarantine: r.Counter("lla_admit_rejected_total", "Offers rejected, by gate.", "stage", "quarantine"),
+		Departures:         r.Counter("lla_admit_departures_total", "Resident tasks removed."),
+		Resident:           r.Gauge("lla_admit_resident_tasks", "Tasks currently resident in the live workload."),
+		ReconvergeIters: r.Histogram("lla_admit_reconverge_iterations", "Live-engine iterations to re-converge after an enacted change.",
+			[]float64{10, 25, 50, 100, 250, 500, 1000, 2500}),
+	}
+}
+
+// PlaceMetrics is the price-guided placer's metric set.
+type PlaceMetrics struct {
+	// Bindings counts subtask-to-resource bindings chosen by Bind.
+	Bindings *Counter
+	// Rebalances counts resident tasks moved by the skew-triggered
+	// rebalance pass.
+	Rebalances *Counter
+}
+
+// NewPlaceMetrics registers the placement metric set on r.
+func NewPlaceMetrics(r *Registry) *PlaceMetrics {
+	return &PlaceMetrics{
+		Bindings:   r.Counter("lla_place_bindings_total", "Subtask-to-resource bindings chosen by the placer."),
+		Rebalances: r.Counter("lla_place_rebalances_total", "Resident tasks moved by the rebalance pass."),
+	}
+}
+
 // DistMetrics is the distributed runtime's standard metric set — the live
 // counterpart of the dist Result/AsyncResult counters.
 type DistMetrics struct {

@@ -26,6 +26,12 @@ const (
 	// EventDegradedExit fires when a fresh price ends a resource's
 	// degradation.
 	EventDegradedExit = "degraded_exit"
+	// EventAdmission fires per admission decision: Task names the candidate,
+	// Detail names the deciding gate, Value is 1 (admitted) or 0 (rejected).
+	EventAdmission = "admission"
+	// EventRebalance fires when the placer's skew-triggered rebalance moves
+	// a resident task; Task names it and Detail the new binding.
+	EventRebalance = "rebalance"
 )
 
 // Event is one structured trace event. Unused fields are omitted from the

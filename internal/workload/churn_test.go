@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func churnTestConfig(seed int64) ChurnConfig {
+	return ChurnConfig{
+		Seed:               seed,
+		MeanInterarrivalMs: 40,
+		MeanLifetimeMs:     150,
+		HorizonMs:          2000,
+		Templates: []ChurnTemplate{
+			{Name: "web", CriticalMs: 80, StageExecMs: []float64{3, 2, 4}, UtilityK: 2},
+			{Name: "etl", CriticalMs: 250, StageExecMs: []float64{6, 5}, UtilityK: 2},
+		},
+	}
+}
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	a, err := GenerateChurn(churnTestConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChurn(churnTestConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different traces")
+	}
+	c, err := GenerateChurn(churnTestConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if len(a) == 0 {
+		t.Fatal("trace is empty")
+	}
+}
+
+func TestGenerateChurnWellFormed(t *testing.T) {
+	events, err := GenerateChurn(churnTestConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrived := make(map[string]float64)
+	departed := make(map[string]bool)
+	last := 0.0
+	for i, ev := range events {
+		if ev.TimeMs < last {
+			t.Fatalf("event %d out of order: %v after %v", i, ev.TimeMs, last)
+		}
+		last = ev.TimeMs
+		if ev.TimeMs >= churnTestConfig(3).HorizonMs {
+			t.Fatalf("event %d beyond horizon: %v", i, ev.TimeMs)
+		}
+		if ev.Arrival {
+			if _, dup := arrived[ev.Name]; dup {
+				t.Fatalf("instance %s arrived twice", ev.Name)
+			}
+			arrived[ev.Name] = ev.TimeMs
+		} else {
+			at, ok := arrived[ev.Name]
+			if !ok {
+				t.Fatalf("instance %s departed before arriving", ev.Name)
+			}
+			if departed[ev.Name] {
+				t.Fatalf("instance %s departed twice", ev.Name)
+			}
+			if ev.TimeMs < at {
+				t.Fatalf("instance %s departs at %v before arrival %v", ev.Name, ev.TimeMs, at)
+			}
+			departed[ev.Name] = true
+		}
+	}
+	if len(arrived) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	// Every departure pairs with an arrival; some instances may outlive the
+	// horizon, but not more instances than arrived.
+	if len(departed) > len(arrived) {
+		t.Fatalf("%d departures for %d arrivals", len(departed), len(arrived))
+	}
+}
+
+func TestGenerateChurnRejectsBadConfig(t *testing.T) {
+	bad := []ChurnConfig{
+		{},
+		{MeanInterarrivalMs: 10, MeanLifetimeMs: 10},
+		{MeanInterarrivalMs: 10, MeanLifetimeMs: 10, HorizonMs: 100},
+		{MeanInterarrivalMs: 10, MeanLifetimeMs: 10, HorizonMs: 100,
+			Templates: []ChurnTemplate{{Name: "x", CriticalMs: 10}}},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateChurn(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestChurnTemplateInstantiate(t *testing.T) {
+	tpl := ChurnTemplate{Name: "web", CriticalMs: 80, StageExecMs: []float64{3, 2}, UtilityK: 2}
+	task, curve, err := tpl.Instantiate("web-a0", []string{"r0", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Name != "web-a0" || len(task.Subtasks) != 2 {
+		t.Fatalf("unexpected instance: %+v", task)
+	}
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := curve.Value(0); got != 160 {
+		t.Fatalf("curve.Value(0) = %v, want 160", got)
+	}
+	if _, _, err := tpl.Instantiate("web-a1", []string{"r0"}); err == nil {
+		t.Fatal("mismatched resource count should fail")
+	}
+}

@@ -33,6 +33,7 @@
 package lla
 
 import (
+	"lla/internal/admit"
 	"lla/internal/baseline"
 	"lla/internal/closedloop"
 	"lla/internal/core"
@@ -346,6 +347,73 @@ type ChaosConfig = transport.ChaosConfig
 func NewChaosNetwork(inner Network, cfg ChaosConfig) *transport.Chaos {
 	return transport.NewChaos(inner, cfg)
 }
+
+// Admission control and price-guided placement (see DESIGN.md "Admission &
+// placement"). An AdmissionController sits above a live Engine and screens
+// arriving tasks through three gates — static necessary conditions, a price
+// screen against the live dual variables, and a bounded warm-started trial
+// optimization on a forked scratch engine — then enacts admitted tasks via
+// warm-started workload replacement. A Placer binds candidate subtasks to
+// the cheapest feasible resources at the live prices and can re-place
+// resident tasks under sustained price skew.
+type (
+	// AdmissionController screens and enacts arriving/departing tasks over
+	// a live engine.
+	AdmissionController = admit.Controller
+	// AdmissionConfig tunes the admission gates (headroom, overcommit,
+	// cost-benefit bound, trial budgets, quarantine backoff).
+	AdmissionConfig = admit.Config
+	// AdmissionDecision is one entry of the controller's decision log.
+	AdmissionDecision = admit.Decision
+	// AdmissionEstimate is the price screen's demand prediction.
+	AdmissionEstimate = admit.Estimate
+	// Placer binds subtasks to the cheapest feasible resources at the live
+	// prices.
+	Placer = admit.Placer
+	// PlacerConfig tunes placement and rebalance triggers.
+	PlacerConfig = admit.PlacerConfig
+	// PlacedCandidate is a task offered for placed admission: advisory
+	// bindings plus per-subtask candidate resource sets.
+	PlacedCandidate = admit.Candidate
+)
+
+// NewAdmissionController builds an admission controller over a running
+// engine (converge the engine first: the price screen reads live prices).
+func NewAdmissionController(e *Engine, cfg AdmissionConfig) *AdmissionController {
+	return admit.New(e, cfg)
+}
+
+// NewPlacer builds a price-guided placer; attach it with
+// AdmissionController.UsePlacer.
+var NewPlacer = admit.NewPlacer
+
+// Churn traces: seeded arrival/departure workloads for admission studies
+// (the lla-sim "churn" experiment replays one against the controller).
+type (
+	// ChurnTemplate is a replicable chain-pipeline task shape.
+	ChurnTemplate = workload.ChurnTemplate
+	// ChurnConfig parametrizes GenerateChurn.
+	ChurnConfig = workload.ChurnConfig
+	// ChurnEvent is one arrival or departure in a trace.
+	ChurnEvent = workload.ChurnEvent
+)
+
+// GenerateChurn produces a seeded Poisson arrival/departure trace.
+var GenerateChurn = workload.GenerateChurn
+
+// Distributed-deployment admission: a running Distributed runtime's
+// coordinator answers admission queries against its live price mirrors
+// (static + price gates only; the trial gate needs an engine).
+type (
+	// DistAdmissionQuery describes a chain-pipeline candidate.
+	DistAdmissionQuery = dist.AdmissionQuery
+	// DistAdmissionDecision is the coordinator's verdict.
+	DistAdmissionDecision = dist.AdmissionDecision
+)
+
+// QueryAdmission asks a running deployment's coordinator whether a
+// candidate could join, blocking up to the timeout for the decision.
+var QueryAdmission = dist.QueryAdmission
 
 // Baselines (offline deadline-slicing heuristics and the centralized
 // reference solver) for comparison against LLA.
