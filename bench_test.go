@@ -396,6 +396,82 @@ func BenchmarkScaleParallel(b *testing.B) {
 	b.ReportMetric(float64(par.Workers()), "workers")
 }
 
+// BenchmarkEngineStepConverged measures the steady-state Step cost after the
+// trajectory has frozen, dense vs sparse, on the Fig 6-scale workload (12
+// tasks, 84 subtasks). This is the active-set path's headline number: past
+// convergence the sparse engine only verifies fingerprints, so its ns/op
+// must sit far below the dense sweep while producing identical bits.
+// skipped_pct reports the fraction of controller solves skipped during the
+// timed loop (0 for dense, ~100 for sparse at a frozen fixed point).
+func BenchmarkEngineStepConverged(b *testing.B) {
+	for _, variant := range []struct {
+		name   string
+		sparse core.SparseMode
+	}{
+		{"dense", core.SparseOff},
+		{"sparse", core.SparseOn},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			w, err := workload.Replicate(workload.Base(), 4, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := core.NewEngine(w, core.Config{Sparse: variant.sparse})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			e.Run(600, nil) // well past the bitwise freeze (~iteration 115)
+			e.ResetSparseStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+			b.StopTimer()
+			st := e.SparseStats()
+			if total := st.SkippedSolves + st.ExecutedSolves; total > 0 {
+				b.ReportMetric(float64(st.SkippedSolves)/float64(total)*100, "skipped_pct")
+			} else {
+				b.ReportMetric(0, "skipped_pct")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6ScalabilitySparse models a long-running deployment at Figure
+// 6's scales: converge on the sparse path, then keep iterating for 400 more
+// steady-state iterations (a live system never stops stepping — that tail
+// is where the active set pays). skipped_pct reports the controller solves
+// skipped across the entire run, convergence phase included.
+func BenchmarkFig6ScalabilitySparse(b *testing.B) {
+	for _, factor := range []int{1, 2, 4} {
+		b.Run(strconv.Itoa(3*factor)+"tasks", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := workload.Replicate(workload.Base(), factor, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := core.NewEngine(w, core.Config{Sparse: core.SparseOn})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap, ok := e.RunUntilConverged(4000, 1e-8, 50, 1e-2)
+				if !ok {
+					b.Fatal("did not converge")
+				}
+				e.Run(400, nil) // steady-state tail of a live deployment
+				st := e.SparseStats()
+				total := st.SkippedSolves + st.ExecutedSolves
+				b.ReportMetric(snap.Utility, "utility")
+				b.ReportMetric(float64(snap.Iteration), "iters")
+				b.ReportMetric(float64(st.SkippedSolves)/float64(total)*100, "skipped_pct")
+				e.Close()
+			}
+		})
+	}
+}
+
 // BenchmarkDistributedRounds measures distributed rounds per second over
 // the in-process transport.
 func BenchmarkDistributedRounds(b *testing.B) {

@@ -60,10 +60,14 @@ func run(ctx context.Context, args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:8080)")
 	tracePath := fs.String("trace", "", "append JSONL trace events to this file")
 	workers := fs.Int("workers", 0, "optimizer worker shards for engine-backed computation in this process: 0 = GOMAXPROCS, 1 = serial (results are bitwise-identical either way)")
+	sparse := fs.Bool("sparse", true, "delta-encode unchanged price broadcasts and share reports (bitwise identical to the dense protocol)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := core.Config{Workers: *workers}
+	cfg := core.Config{Workers: *workers, Sparse: core.SparseOn}
+	if !*sparse {
+		cfg.Sparse = core.SparseOff
+	}
 
 	o, obsDone, err := buildObserver(*debugAddr, *tracePath)
 	if err != nil {

@@ -22,10 +22,20 @@ import (
 	"path/filepath"
 	"strings"
 
+	"lla/internal/core"
 	"lla/internal/eval"
 	"lla/internal/obs"
 	"lla/internal/stats"
 )
+
+// sparseMode maps the boolean -sparse flag onto the engine's tri-state
+// toggle (the zero value means "auto", which also resolves to on).
+func sparseMode(on bool) core.SparseMode {
+	if on {
+		return core.SparseOn
+	}
+	return core.SparseOff
+}
 
 // experiments is the single registry of runnable experiments: the -experiment
 // flag's help text, the name lookup, and the "all" execution order are all
@@ -69,6 +79,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shrink iteration budgets (smoke test)")
 	seed := fs.Int64("seed", 1, "simulation seed (fig8)")
 	workers := fs.Int("workers", 0, "optimizer shards per iteration: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
+	sparse := fs.Bool("sparse", true, "incremental active-set iteration: skip converged controllers and clean resources (bitwise identical to the dense path)")
 	csvDir := fs.String("csv", "", "directory to write full series CSVs into")
 	tracePath := fs.String("trace", "", "append per-iteration JSONL telemetry (samples + events) to this file")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
@@ -119,7 +130,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q (see -h for the list)", *experiment)
 	}
 
-	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o}
+	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o, Sparse: sparseMode(*sparse)}
 	for _, name := range selected {
 		res, err := runners[name](opts)
 		if err != nil {

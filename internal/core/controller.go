@@ -23,6 +23,10 @@ type Controller struct {
 	// pathStep[pi] sizes the gradient step of path pi's price.
 	pathStep []price.StepSizer
 
+	// latPrev is the AllocateLatencies change-detection scratch (the entry
+	// latencies, compared bitwise against the exit latencies).
+	latPrev []float64
+
 	// maxInner bounds the fixed-point iterations used for curves with
 	// non-constant slope.
 	maxInner int
@@ -43,6 +47,7 @@ func NewController(p *Problem, ti int, newStep func() price.StepSizer, baseGamma
 		p:           p,
 		ti:          ti,
 		LatMs:       make([]float64, n),
+		latPrev:     make([]float64, n),
 		Lambda:      make([]float64, len(pt.Paths)),
 		pathStep:    make([]price.StepSizer, len(pt.Paths)),
 		maxInner:    maxInner,
@@ -73,9 +78,18 @@ func NewController(p *Problem, ti int, newStep func() price.StepSizer, baseGamma
 // d(Σlat)/dλ ≈ −Σlat / (2(λ + w·|f'|)), so contraction requires
 // gamma < 4(λ_p + w_min·|f'|); we clamp at twice the price scale, floored at
 // the base step.
-func (c *Controller) UpdatePathPrices(congestedRes []bool) {
+//
+// It reports whether the call moved any controller state: a path price, or
+// a step sizer's size. The sparse engine path skips a re-solve only when a
+// previous identical-input call reported no change, so the comparison is
+// bitwise and the sizer check relies on Gamma() being the sizer's entire
+// observable state (true of both price.Fixed and price.Adaptive — Observe
+// with an unchanged Gamma is a no-op that would absorb identically on
+// replay).
+func (c *Controller) UpdatePathPrices(congestedRes []bool) bool {
 	pt := &c.p.Tasks[c.ti]
 	slope := pt.Curve.Slope(c.aggregate())
+	changed := false
 	for pi, path := range pt.Paths {
 		sum := 0.0
 		pathCongested := false
@@ -92,8 +106,12 @@ func (c *Controller) UpdatePathPrices(congestedRes []bool) {
 		if sum > pt.CriticalMs*(1+CongestionMargin) {
 			pathCongested = true
 		}
+		g0 := c.pathStep[pi].Gamma()
 		c.pathStep[pi].Observe(pathCongested)
 		gamma := c.pathStep[pi].Gamma()
+		if gamma != g0 {
+			changed = true
+		}
 		scale := c.Lambda[pi] + wMin*math.Abs(slope)
 		if c.priceScaled && gamma < scale/2 {
 			gamma = scale / 2
@@ -101,8 +119,12 @@ func (c *Controller) UpdatePathPrices(congestedRes []bool) {
 		if cap := math.Max(c.baseGamma, 2*scale); gamma > cap {
 			gamma = cap
 		}
-		c.Lambda[pi] = price.UpdatePath(c.Lambda[pi], gamma, sum, pt.CriticalMs)
+		if next := price.UpdatePath(c.Lambda[pi], gamma, sum, pt.CriticalMs); next != c.Lambda[pi] {
+			c.Lambda[pi] = next
+			changed = true
+		}
 	}
+	return changed
 }
 
 // AllocateLatencies performs the latency-allocation step (Section 4.2):
@@ -119,7 +141,12 @@ func (c *Controller) UpdatePathPrices(congestedRes []bool) {
 // non-constant slope f'(L) depends on the aggregate L, so the controller
 // fixed-points on L (converges monotonically for concave curves; linear
 // curves exit after one inner round).
-func (c *Controller) AllocateLatencies(mu []float64) {
+//
+// It reports whether any latency changed bitwise — the trigger for
+// re-evaluating the task's shares and for marking its resources dirty in
+// the sparse engine path.
+func (c *Controller) AllocateLatencies(mu []float64) bool {
+	copy(c.latPrev, c.LatMs)
 	pt := &c.p.Tasks[c.ti]
 	agg := c.aggregate()
 	for inner := 0; inner < c.maxInner; inner++ {
@@ -153,6 +180,12 @@ func (c *Controller) AllocateLatencies(mu []float64) {
 		}
 		agg = next
 	}
+	for si, lat := range c.LatMs {
+		if lat != c.latPrev[si] {
+			return true
+		}
+	}
+	return false
 }
 
 // aggregate returns the weighted latency sum Σ w_s · lat_s.

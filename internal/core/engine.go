@@ -42,6 +42,11 @@ type Config struct {
 	// are reduced serially in a fixed subtask order, so every worker count
 	// produces bitwise-identical results.
 	Workers int
+	// Sparse selects the incremental active-set iteration (sparse.go):
+	// SparseAuto resolves to SparseOn because the sparse path is
+	// bitwise-identical to the dense one at every iteration and worker
+	// count; SparseOff forces the dense path (benchmark baseline).
+	Sparse SparseMode
 }
 
 // WithDefaults returns the config with every unset field filled with the
@@ -62,6 +67,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Sparse == SparseAuto {
+		c.Sparse = SparseOn
 	}
 	return c
 }
@@ -114,6 +122,24 @@ type Engine struct {
 	// Step and whenever nshards == 1.
 	pool *workerPool
 
+	// Incremental-iteration state (sparse.go). sparse selects the
+	// active-set Step path; inc is the once-built CSR incidence index;
+	// fpMu/fpCong hold each controller's input fingerprint (aligned with
+	// inc.taskRes); the bool vectors carry the per-controller and per-agent
+	// fixed-point flags; shardSkipped is the per-shard skip tally folded
+	// into sstats after the join.
+	sparse       bool
+	inc          incidence
+	fpMu         []float64
+	fpCong       []bool
+	ctlSolved    []bool
+	ctlStable    []bool
+	latChanged   []bool
+	agentStable  []bool
+	sumValid     []bool
+	shardSkipped []uint64
+	sstats       SparseStats
+
 	// obsv holds the attached observability channels (nil = disabled); the
 	// hot path pays one nil-check per Step when nothing is attached.
 	obsv *obsHandles
@@ -134,6 +160,7 @@ func NewEngine(w *workload.Workload, cfg Config) (*Engine, error) {
 		congested: make([]bool, len(p.Resources)),
 		mu:        make([]float64, len(p.Resources)),
 		nshards:   resolveShards(cfg.Workers, len(p.Tasks)),
+		sparse:    cfg.Sparse != SparseOff,
 	}
 	flat := make([]float64, p.NumSubtasks())
 	e.shares = make([][]float64, len(p.Tasks))
@@ -152,6 +179,7 @@ func NewEngine(w *workload.Workload, cfg Config) (*Engine, error) {
 	for ri := range p.Resources {
 		e.agents = append(e.agents, NewResourceAgent(p, ri, newStep(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu))
 	}
+	e.initSparse()
 	e.refreshResourceState()
 	return e, nil
 }
@@ -169,13 +197,17 @@ func (e *Engine) Iteration() int { return e.iter }
 func (e *Engine) latOf(ti int) []float64 { return e.controllers[ti].LatMs }
 
 // refreshResourceState recomputes the cached share sums and congestion
-// flags from the controllers' current latencies.
+// flags from the controllers' current latencies. Every caller is reacting
+// to an out-of-band state change (construction, availability change, fork
+// warm-start, workload replacement), so it also drops the sparse path's
+// cached fixed points.
 func (e *Engine) refreshResourceState() {
 	for ri, a := range e.agents {
 		sum := a.ShareSum(e.latOf)
 		e.shareSums[ri] = sum
 		e.congested[ri] = a.Congested(sum)
 	}
+	e.invalidateSparse()
 }
 
 // Step performs one full LLA iteration: each controller refreshes its path
@@ -202,16 +234,56 @@ func (e *Engine) Step() {
 	} else {
 		e.runShard(0)
 	}
-	for ri, a := range e.agents {
-		sum := a.ShareSumFrom(e.shares)
-		a.UpdatePrice(sum)
-		e.shareSums[ri] = sum
-		e.congested[ri] = a.Congested(sum)
+	if e.sparse {
+		e.resourcePhaseSparse()
+	} else {
+		for ri, a := range e.agents {
+			sum := a.ShareSumFrom(e.shares)
+			a.UpdatePrice(sum)
+			e.shareSums[ri] = sum
+			e.congested[ri] = a.Congested(sum)
+		}
 	}
 	e.iter++
 	if e.obsv != nil {
 		e.publishObs()
 	}
+}
+
+// resourcePhaseSparse is the active-set resource phase: a resource is clean
+// — its cached sum, congestion flag and price are reused verbatim — when a
+// previous reduction populated the cache (sumValid), the last executed
+// gradient step was a bitwise no-op (agentStable: neither Mu nor the step
+// sizer moved), and no contributing task re-solved with changed latencies
+// this Step (resourceDirty). Under those conditions the dense recomputation
+// would reproduce every cached bit: the shares scratch rows of clean tasks
+// still hold exactly what their last executed solve wrote, so ShareSumFrom
+// would return the cached sum, and re-running the fixed-point price update
+// on identical inputs would return the cached price.
+func (e *Engine) resourcePhaseSparse() {
+	var clean, repriced uint64
+	for ri, a := range e.agents {
+		if e.sumValid[ri] && e.agentStable[ri] && !e.resourceDirty(ri) {
+			clean++
+			continue
+		}
+		sum := a.ShareSumFrom(e.shares)
+		changed := a.UpdatePrice(sum)
+		e.shareSums[ri] = sum
+		e.congested[ri] = a.Congested(sum)
+		e.agentStable[ri] = !changed
+		e.sumValid[ri] = true
+		repriced++
+	}
+	var skipped uint64
+	for _, n := range e.shardSkipped {
+		skipped += n
+	}
+	e.sstats.Iterations++
+	e.sstats.SkippedSolves += skipped
+	e.sstats.ExecutedSolves += uint64(len(e.controllers)) - skipped
+	e.sstats.CleanResources += clean
+	e.sstats.RepricedResources += repriced
 }
 
 // runShard executes the controller phase for shard w's contiguous task
@@ -220,12 +292,42 @@ func (e *Engine) Step() {
 func (e *Engine) runShard(w int) {
 	nt := len(e.controllers)
 	lo, hi := w*nt/e.nshards, (w+1)*nt/e.nshards
-	for ti := lo; ti < hi; ti++ {
-		c := e.controllers[ti]
-		c.UpdatePathPrices(e.congested)
-		c.AllocateLatencies(e.mu)
-		c.SharesInto(e.shares[ti])
+	if !e.sparse {
+		for ti := lo; ti < hi; ti++ {
+			c := e.controllers[ti]
+			c.UpdatePathPrices(e.congested)
+			c.AllocateLatencies(e.mu)
+			c.SharesInto(e.shares[ti])
+		}
+		return
 	}
+	// Active-set path: skip a controller's solve when its previous executed
+	// solve changed nothing (ctlStable: latencies, path prices and step
+	// sizers all came out bitwise-unchanged) and the prices it observes are
+	// bitwise-identical to that solve's fingerprint — re-running the solve
+	// would reproduce its state and its shares scratch row verbatim. Shards
+	// only touch their own tasks' flags, so the parallel dispatch stays
+	// race-free, and the skip decision depends only on frozen per-Step
+	// inputs, so it is identical under every worker count.
+	var skipped uint64
+	for ti := lo; ti < hi; ti++ {
+		if e.ctlSolved[ti] && e.ctlStable[ti] && e.fingerprintClean(ti) {
+			e.latChanged[ti] = false
+			skipped++
+			continue
+		}
+		c := e.controllers[ti]
+		e.recordFingerprint(ti)
+		priceChanged := c.UpdatePathPrices(e.congested)
+		latChanged := c.AllocateLatencies(e.mu)
+		if latChanged || !e.ctlSolved[ti] {
+			c.SharesInto(e.shares[ti])
+		}
+		e.latChanged[ti] = latChanged
+		e.ctlStable[ti] = !priceChanged && !latChanged
+		e.ctlSolved[ti] = true
+	}
+	e.shardSkipped[w] = skipped
 }
 
 // resolveShards maps Config.Workers to the effective shard count.
@@ -328,6 +430,7 @@ func (e *Engine) SetErrorMs(taskName, subtaskName string, errMs float64) error {
 	}
 	e.p.Tasks[ti].Share[si].ErrMs = errMs
 	e.p.refreshBounds(ti, si)
+	e.invalidateSparse()
 	e.emit(obs.Event{Kind: obs.EventWorkloadChange, Iteration: e.iter,
 		Task: taskName, Subtask: subtaskName, Detail: "err_ms", Value: errMs})
 	return nil
@@ -345,6 +448,7 @@ func (e *Engine) SetMinShare(taskName, subtaskName string, minShare float64) err
 	}
 	e.p.src.Tasks[ti].Subtasks[si].MinShare = minShare
 	e.p.refreshBounds(ti, si)
+	e.invalidateSparse()
 	e.emit(obs.Event{Kind: obs.EventWorkloadChange, Iteration: e.iter,
 		Task: taskName, Subtask: subtaskName, Detail: "min_share", Value: minShare})
 	return nil
@@ -369,18 +473,26 @@ func (e *Engine) findSubtask(taskName, subtaskName string) (int, int, error) {
 // KKTResiduals measures how far the current point is from stationarity: for
 // every subtask whose latency is strictly inside its bounds, the residual of
 // Equation 7 normalized by the price scale. Near the optimum these vanish;
-// tests use this to certify optimality beyond utility stabilization, and
-// KKTStats (observe.go) summarizes the same residuals allocation-free for
-// the per-iteration telemetry.
+// tests use this to certify optimality beyond utility stabilization. It
+// allocates a fresh slice per call — hot paths (obs sampling) use
+// KKTResidualsInto with a reused buffer instead.
 func (e *Engine) KKTResiduals() []float64 {
-	var out []float64
+	return e.KKTResidualsInto(nil)
+}
+
+// KKTResidualsInto appends the interior-subtask stationarity residuals to
+// dst[:0] and returns the extended slice, reusing dst's capacity so repeated
+// calls with the returned buffer are allocation-free once it has grown to
+// the interior-subtask count.
+func (e *Engine) KKTResidualsInto(dst []float64) []float64 {
+	dst = dst[:0]
 	for ti := range e.p.Tasks {
 		slope := e.p.Tasks[ti].Curve.Slope(e.controllers[ti].aggregate())
 		for si := range e.controllers[ti].LatMs {
 			if r, ok := e.kktResidual(ti, si, slope); ok {
-				out = append(out, r)
+				dst = append(dst, r)
 			}
 		}
 	}
-	return out
+	return dst
 }

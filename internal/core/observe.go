@@ -13,6 +13,15 @@ type obsHandles struct {
 	o   *obs.Observer
 	em  *obs.EngineMetrics
 	res []*obs.ResourceMetrics
+	sm  *obs.SparseMetrics
+	// kkt is the reused residual-vector scratch: publishObs computes the
+	// Equation 7 residuals once per iteration into it and derives the
+	// max/mean summary from the vector, keeping observed Steps
+	// allocation-free after the buffer's first growth.
+	kkt []float64
+	// lastSparse remembers the cumulative sparse counters at the previous
+	// publication so the monotone lla_sparse_* counters advance by deltas.
+	lastSparse SparseStats
 }
 
 // Observe attaches the observability channels to the engine; nil detaches.
@@ -31,11 +40,14 @@ func (e *Engine) Observe(o *obs.Observer) {
 		e.obsv = nil
 		return
 	}
-	h := &obsHandles{o: o}
+	h := &obsHandles{o: o, lastSparse: e.sstats}
 	if o.Metrics != nil {
 		h.em = obs.NewEngineMetrics(o.Metrics)
 		for ri := range e.p.Resources {
 			h.res = append(h.res, obs.NewResourceMetrics(o.Metrics, e.p.Resources[ri].ID))
+		}
+		if e.sparse {
+			h.sm = obs.NewSparseMetrics(o.Metrics)
 		}
 	}
 	e.obsv = h
@@ -54,7 +66,20 @@ func (e *Engine) emit(ev obs.Event) {
 func (e *Engine) publishObs() {
 	h := e.obsv
 	pr := e.Probe()
-	kktMax, kktMean, kktCount := e.KKTStats()
+	// One residual-vector pass feeds both the summary gauges and the
+	// per-iteration sample; KKTResidualsInto reuses h.kkt's capacity so the
+	// observed Step performs no allocation at steady state.
+	h.kkt = e.KKTResidualsInto(h.kkt)
+	kktMax, kktMean, kktCount := summarize(h.kkt)
+
+	if h.sm != nil {
+		cur := e.sstats
+		h.sm.SkippedSolves.Add(int64(cur.SkippedSolves - h.lastSparse.SkippedSolves))
+		h.sm.ExecutedSolves.Add(int64(cur.ExecutedSolves - h.lastSparse.ExecutedSolves))
+		h.sm.CleanResources.Add(int64(cur.CleanResources - h.lastSparse.CleanResources))
+		h.sm.RepricedResources.Add(int64(cur.RepricedResources - h.lastSparse.RepricedResources))
+		h.lastSparse = cur
+	}
 
 	if h.em != nil {
 		h.em.Iterations.Inc()
@@ -98,7 +123,24 @@ func (e *Engine) publishObs() {
 	for _, c := range e.controllers {
 		s.Lambda = append(s.Lambda, c.Lambda...)
 	}
+	s.KKT = append(s.KKT[:0], h.kkt...)
 	rec.Commit(s)
+}
+
+// summarize reduces a residual vector to the max/mean/count summary that
+// KKTStats would compute, from an already-materialized vector.
+func summarize(res []float64) (max, mean float64, n int) {
+	sum := 0.0
+	for _, r := range res {
+		sum += r
+		if r > max {
+			max = r
+		}
+	}
+	if len(res) > 0 {
+		mean = sum / float64(len(res))
+	}
+	return max, mean, len(res)
 }
 
 // kktResidual returns the normalized Equation 7 stationarity residual of

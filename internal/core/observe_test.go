@@ -12,17 +12,41 @@ import (
 // Alloc regression for the observability hook: with no observer attached,
 // the steady-state Step must stay allocation-free — the hot path pays one
 // nil-check and nothing else. Guards the PR 1 zero-allocation invariant on
-// both the serial and the sharded iteration.
+// both the serial and the sharded iteration, for both iteration paths.
 func TestStepZeroAllocsNilObserver(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []SparseMode{SparseOn, SparseOff} {
+			e, err := NewEngine(workload.Base(), Config{Workers: workers, Sparse: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run(50, nil) // warm up: scratch buffers reach steady state
+			allocs := testing.AllocsPerRun(200, func() { e.Step() })
+			if allocs != 0 {
+				t.Errorf("workers=%d sparse=%v: Step allocated %.1f/op with nil observer, want 0",
+					workers, mode, allocs)
+			}
+			e.Close()
+		}
+	}
+}
+
+// With an observer attached the bound still holds: the KKT residual vector
+// goes through the reused KKTResidualsInto scratch and the ring recorder's
+// Commit deep-copies into pre-grown slots, so once warm the observed Step
+// performs no heap allocation either.
+func TestStepZeroAllocsWithObserver(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		e, err := NewEngine(workload.Base(), Config{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
-		e.Run(50, nil) // warm up: scratch buffers reach steady state
+		o := &obs.Observer{Recorder: obs.NewRing(8), Metrics: obs.NewRegistry()}
+		e.Observe(o)
+		e.Run(50, nil) // warm up: ring slots and the residual scratch grow once
 		allocs := testing.AllocsPerRun(200, func() { e.Step() })
 		if allocs != 0 {
-			t.Errorf("workers=%d: Step allocated %.1f/op with nil observer, want 0", workers, allocs)
+			t.Errorf("workers=%d: observed Step allocated %.1f/op, want 0", workers, allocs)
 		}
 		e.Close()
 	}

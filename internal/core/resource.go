@@ -90,9 +90,18 @@ func (a *ResourceAgent) Congested(shareSum float64) bool {
 // 2·mu/B (safety factor 2, floored at the base step so the price can rise
 // from zero) lets the paper's multiplicative ramp run while the price is
 // large without destabilizing it near the equilibrium.
-func (a *ResourceAgent) UpdatePrice(shareSum float64) {
+//
+// It reports whether the call moved any agent state — the price or the step
+// sizer's size, compared bitwise. A false return means the update was a
+// fixed point: replaying it with the same demand would change nothing,
+// which is what lets the sparse engine path mark the resource clean (the
+// sizer check relies on Gamma() being the sizer's entire observable state,
+// true of both price.Fixed and price.Adaptive).
+func (a *ResourceAgent) UpdatePrice(shareSum float64) bool {
+	g0 := a.step.Gamma()
 	a.step.Observe(a.Congested(shareSum))
 	gamma := a.step.Gamma()
+	changed := gamma != g0
 	avail := a.p.Resources[a.ri].Availability
 	if a.priceScaled && gamma < a.Mu/2 {
 		gamma = a.Mu / 2
@@ -100,7 +109,11 @@ func (a *ResourceAgent) UpdatePrice(shareSum float64) {
 	if cap := math.Max(a.baseGamma, 2*a.Mu/avail); gamma > cap {
 		gamma = cap
 	}
-	a.Mu = price.UpdateResource(a.Mu, gamma, avail, shareSum)
+	if next := price.UpdateResource(a.Mu, gamma, avail, shareSum); next != a.Mu {
+		a.Mu = next
+		changed = true
+	}
+	return changed
 }
 
 // StepGamma returns the step sizer's current step size — the state of the

@@ -1,0 +1,208 @@
+package core
+
+// Incremental sparse iteration (DESIGN.md §11). LLA's gradient-projection
+// loop converges by making ever-smaller price moves; near the fixed point
+// the floating-point updates literally stop changing bits (the step rounds
+// to a no-op), yet the dense Step keeps re-solving every task controller
+// and re-summing every resource. The sparse path exploits that: it skips a
+// controller's solve when its observed prices are bitwise identical to its
+// previous solve AND that solve was a self-fixed-point (it left the
+// controller's own state — latencies, path prices, step sizers — bitwise
+// unchanged), and it skips a resource's reprice when no contributing
+// subtask's share changed AND the previous gradient step was likewise a
+// bitwise no-op.
+//
+// The skip condition is exact, not approximate: both the controller solve
+// and the resource reprice are deterministic state machines S' = F(S, x).
+// If the last executed transition observed F(S, x) == S and the inputs x
+// are bitwise unchanged, re-running F would reproduce S and the cached
+// outputs verbatim — so sparse mode produces byte-identical snapshots to
+// the dense path at every iteration and under every Workers count. Any
+// out-of-band mutation of S or of the problem data (SetAvailability,
+// SetErrorMs, SetMinShare, ReplaceWorkload) invalidates every cached
+// fingerprint; see Engine.invalidateSparse.
+
+// SparseMode selects the engine's iteration path.
+type SparseMode int
+
+const (
+	// SparseAuto (the zero value) resolves to SparseOn: the incremental
+	// path is the default because it is bitwise-indistinguishable from the
+	// dense path and strictly cheaper at steady state.
+	SparseAuto SparseMode = iota
+	// SparseOn enables the incremental active-set iteration.
+	SparseOn
+	// SparseOff forces the dense path: every controller solves and every
+	// resource reprices on every Step. Useful for benchmarking the sparse
+	// speedup and as an escape hatch.
+	SparseOff
+)
+
+// String renders the mode for flags and telemetry.
+func (m SparseMode) String() string {
+	switch m {
+	case SparseOn:
+		return "on"
+	case SparseOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// incidence is the CSR-style index of the bipartite task/resource structure,
+// built once at engine construction: which distinct resources a task's
+// controller observes (the mu/congested slots it fingerprints), and which
+// distinct tasks contribute shares to a resource (the dirty-propagation
+// fan-in of its price update). Both directions are flat int32 arrays so the
+// per-Step scans stay cache-dense and allocation-free.
+type incidence struct {
+	// taskResOff/taskRes: task ti observes resources
+	// taskRes[taskResOff[ti]:taskResOff[ti+1]], in first-appearance order.
+	taskResOff []int32
+	taskRes    []int32
+	// resTaskOff/resTask: resource ri receives shares from tasks
+	// resTask[resTaskOff[ri]:resTaskOff[ri+1]], in first-appearance order.
+	resTaskOff []int32
+	resTask    []int32
+}
+
+// newIncidence builds both CSR directions from the compiled problem.
+func newIncidence(p *Problem) incidence {
+	var inc incidence
+	inc.taskResOff = make([]int32, len(p.Tasks)+1)
+	seenRes := make([]int32, len(p.Resources))
+	for i := range seenRes {
+		seenRes[i] = -1
+	}
+	for ti := range p.Tasks {
+		inc.taskResOff[ti] = int32(len(inc.taskRes))
+		for _, ri := range p.Tasks[ti].Res {
+			if seenRes[ri] != int32(ti) {
+				seenRes[ri] = int32(ti)
+				inc.taskRes = append(inc.taskRes, int32(ri))
+			}
+		}
+	}
+	inc.taskResOff[len(p.Tasks)] = int32(len(inc.taskRes))
+
+	inc.resTaskOff = make([]int32, len(p.Resources)+1)
+	seenTask := make([]int32, len(p.Tasks))
+	for i := range seenTask {
+		seenTask[i] = -1
+	}
+	for ri := range p.Resources {
+		inc.resTaskOff[ri] = int32(len(inc.resTask))
+		for _, sub := range p.Resources[ri].Subs {
+			if seenTask[sub[0]] != int32(ri) {
+				seenTask[sub[0]] = int32(ri)
+				inc.resTask = append(inc.resTask, int32(sub[0]))
+			}
+		}
+	}
+	inc.resTaskOff[len(p.Resources)] = int32(len(inc.resTask))
+	return inc
+}
+
+// SparseStats counts the incremental path's activity since engine
+// construction (or the last ResetSparseStats). All counts are totals across
+// iterations; skipped/(skipped+executed) is the controller skip rate the
+// benchmarks report as skipped_pct.
+type SparseStats struct {
+	// Iterations counts Steps taken while the sparse path was enabled.
+	Iterations uint64
+	// SkippedSolves counts controller solves skipped because the observed
+	// prices were bitwise unchanged and the controller was at a fixed point.
+	SkippedSolves uint64
+	// ExecutedSolves counts controller solves actually performed.
+	ExecutedSolves uint64
+	// CleanResources counts resource price updates skipped because no
+	// contributing share changed and the projected gradient was at its
+	// fixed point.
+	CleanResources uint64
+	// RepricedResources counts resource price updates actually performed.
+	RepricedResources uint64
+}
+
+// SparseStats returns the engine's cumulative sparse-path counters. With the
+// dense path configured (SparseOff) every field stays zero.
+func (e *Engine) SparseStats() SparseStats { return e.sstats }
+
+// ResetSparseStats zeroes the cumulative counters (benchmark windows).
+func (e *Engine) ResetSparseStats() { e.sstats = SparseStats{} }
+
+// SparseEnabled reports whether the engine runs the incremental path.
+func (e *Engine) SparseEnabled() bool { return e.sparse }
+
+// fingerprintClean reports whether task ti's observed price view — the mu
+// and congested slots of every resource it touches — is bitwise identical
+// to the view recorded at its previous executed solve. Float comparison is
+// deliberately exact (==): a skip is only sound for identical bits, and
+// NaNs (which would compare unequal to themselves and force a solve) cannot
+// reach the price vector because price updates project onto [0, MaxPrice].
+func (e *Engine) fingerprintClean(ti int) bool {
+	lo, hi := e.inc.taskResOff[ti], e.inc.taskResOff[ti+1]
+	for j := lo; j < hi; j++ {
+		ri := e.inc.taskRes[j]
+		if e.mu[ri] != e.fpMu[j] || e.congested[ri] != e.fpCong[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// recordFingerprint snapshots task ti's observed price view before a solve.
+func (e *Engine) recordFingerprint(ti int) {
+	lo, hi := e.inc.taskResOff[ti], e.inc.taskResOff[ti+1]
+	for j := lo; j < hi; j++ {
+		ri := e.inc.taskRes[j]
+		e.fpMu[j] = e.mu[ri]
+		e.fpCong[j] = e.congested[ri]
+	}
+}
+
+// resourceDirty reports whether any task contributing shares to resource ri
+// re-solved with changed latencies this Step.
+func (e *Engine) resourceDirty(ri int) bool {
+	lo, hi := e.inc.resTaskOff[ri], e.inc.resTaskOff[ri+1]
+	for j := lo; j < hi; j++ {
+		if e.latChanged[e.inc.resTask[j]] {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidateSparse drops every cached fingerprint and fixed-point flag. Any
+// mutation of the problem data or controller/agent state outside Step —
+// availability changes, model-error corrections, min-share updates,
+// workload replacement — must call it: the skip contract is "inputs
+// identical AND state untouched", and out-of-band writes break the second
+// half invisibly.
+func (e *Engine) invalidateSparse() {
+	for i := range e.ctlSolved {
+		e.ctlSolved[i] = false
+		e.ctlStable[i] = false
+		e.latChanged[i] = true
+	}
+	for i := range e.agentStable {
+		e.agentStable[i] = false
+		e.sumValid[i] = false
+	}
+}
+
+// initSparse sizes the incremental-path state for a freshly compiled
+// problem. Called from NewEngine regardless of mode so the toggles can be
+// compared without re-allocating; the dense path never reads these.
+func (e *Engine) initSparse() {
+	e.inc = newIncidence(e.p)
+	e.fpMu = make([]float64, len(e.inc.taskRes))
+	e.fpCong = make([]bool, len(e.inc.taskRes))
+	e.ctlSolved = make([]bool, len(e.p.Tasks))
+	e.ctlStable = make([]bool, len(e.p.Tasks))
+	e.latChanged = make([]bool, len(e.p.Tasks))
+	e.agentStable = make([]bool, len(e.p.Resources))
+	e.sumValid = make([]bool, len(e.p.Resources))
+	e.shardSkipped = make([]uint64, e.nshards)
+	e.invalidateSparse()
+}

@@ -52,6 +52,12 @@ type AsyncResult struct {
 	// DegradedRounds counts controller compute steps taken while at least
 	// one used resource's lease had expired.
 	DegradedRounds int64
+	// SkippedSteps counts compute steps suppressed by the sparse active-set
+	// path (core.Config.Sparse): the node's inputs were bitwise unchanged and
+	// its previous update was a fixed point, so recomputing would reproduce
+	// the exact state already published. Idle heartbeats still fire while
+	// suppressed, keeping leases alive and recovering lost messages.
+	SkippedSteps int64
 	// MaxDegradedPathViolation is the worst relative critical-time violation
 	// left after deadline-safe clamping across all degraded steps — 0 unless
 	// the workload itself is degenerate.
@@ -93,6 +99,7 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 		return nil, err
 	}
 	newStep := cfg.NewStepSizer
+	sparseOn := cfg.Sparse != core.SparseOff
 
 	// Nil-safe metric handles: all remain nil (no-op) without a registry.
 	var cRetrans, cStale, cDegraded, cLease *obs.Counter
@@ -203,6 +210,11 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 				}
 				lastSent = time.Now()
 			}
+			// dirty tracks whether any input latency changed bitwise since the
+			// last recompute; stable whether that recompute was a fixed point
+			// of the agent. Both false → re-running would republish the exact
+			// same price, so the sparse path skips it.
+			dirty, stable := true, false
 			var lastMsg priceMsg
 			publish := func() {
 				sum := 0.0
@@ -210,7 +222,8 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 					ti, si := sub[0], sub[1]
 					sum += p.Tasks[ti].Share[si].Share(lat[sub])
 				}
-				n.agent.UpdatePrice(sum)
+				stable = !n.agent.UpdatePrice(sum)
+				dirty = false
 				if rms != nil {
 					rm := rms[n.ri]
 					rm.ShareSum.Set(sum)
@@ -238,7 +251,10 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 				}
 				for sn, v := range lm.LatMs {
 					if sub, ok2 := subIndex(p, lm.Task, sn); ok2 {
-						lat[sub] = v
+						if lat[sub] != v {
+							lat[sub] = v
+							dirty = true
+						}
 					}
 				}
 			}
@@ -290,6 +306,12 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 						break drainRes
 					}
 				}
+				if sparseOn && !dirty && stable {
+					mu.Lock()
+					res.SkippedSteps++
+					mu.Unlock()
+					continue
+				}
 				publish()
 				time.Sleep(pace)
 			}
@@ -338,9 +360,15 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 				}
 				lastSent = time.Now()
 			}
+			// dirty tracks bitwise input changes (fresh price values, lease
+			// transitions) since the last solve; stable whether that solve was
+			// a fixed point. Degraded solves are never stable: the clamp
+			// mutates latencies after the solve, so suppression must not
+			// engage while any used resource is degraded.
+			dirty, stable := true, false
 			publish := func() {
-				n.ctl.UpdatePathPrices(congested)
-				n.ctl.AllocateLatencies(muVec)
+				priceChanged := n.ctl.UpdatePathPrices(congested)
+				latChanged := n.ctl.AllocateLatencies(muVec)
 				anyDegraded := false
 				for _, ri := range used {
 					if degraded[ri] {
@@ -348,6 +376,8 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 						break
 					}
 				}
+				stable = !priceChanged && !latChanged && !anyDegraded
+				dirty = false
 				if anyDegraded {
 					// Operating on a frozen (stale) price: the allocation may
 					// be off-optimum, but it must never break a deadline.
@@ -393,12 +423,18 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 				}
 				for ri := range p.Resources {
 					if p.Resources[ri].ID == pm.Resource {
+						if muVec[ri] != pm.Mu || congested[ri] != pm.Congested {
+							dirty = true
+						}
 						muVec[ri] = pm.Mu
 						congested[ri] = pm.Congested
 						// A fresh price resynchronizes a degraded resource.
 						lastHeard[ri] = time.Now()
-						if degraded[ri] && o != nil {
-							o.Emit(obs.Event{Kind: obs.EventDegradedExit, Task: pt.Name, Resource: pm.Resource})
+						if degraded[ri] {
+							dirty = true // leaving degraded changes the clamp
+							if o != nil {
+								o.Emit(obs.Event{Kind: obs.EventDegradedExit, Task: pt.Name, Resource: pm.Resource})
+							}
 						}
 						degraded[ri] = false
 						break
@@ -427,6 +463,7 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 							if !degraded[ri] && now.Sub(lastHeard[ri]) > fp.LeaseAfter {
 								degraded[ri] = true
 								recompute = true // re-clamp on frozen prices
+								dirty = true
 								cLease.Inc()
 								if o != nil {
 									o.Emit(obs.Event{Kind: obs.EventDegradedEnter, Task: pt.Name, Resource: p.Resources[ri].ID})
@@ -464,6 +501,12 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 					default:
 						break drainCtl
 					}
+				}
+				if sparseOn && !dirty && stable {
+					mu.Lock()
+					res.SkippedSteps++
+					mu.Unlock()
+					continue
 				}
 				publish()
 				time.Sleep(pace)

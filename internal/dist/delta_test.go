@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lla/internal/core"
+	"lla/internal/transport"
+	"lla/internal/workload"
+)
+
+// The delta-codec suite pins the tentpole's dist contract: delta-encoded
+// price broadcasts and coalesced share reports change bytes on the wire,
+// never bits in the result — loss-free and chaos runs alike must stay
+// bitwise identical to the dense protocol and to the engine.
+
+// frozenWorkload is a replication of the base workload that reaches a global
+// bitwise fixed point (around iteration 115), so a long enough run is
+// guaranteed to exercise the delta markers heavily.
+func frozenWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := workload.Replicate(workload.Base(), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// assertMatchesEngineBitwise compares a dist result against the serial
+// engine on the same workload with exact float equality: the delta codec's
+// markers must be indistinguishable from full payloads, and Go's JSON
+// encoding round-trips float64 exactly, so nothing may drift even an ulp.
+func assertMatchesEngineBitwise(t *testing.T, w *workload.Workload, res *Result, rounds int) {
+	t.Helper()
+	e, err := core.NewEngine(w, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run(rounds, nil)
+	want := e.Snapshot()
+	for ti := range want.LatMs {
+		for si := range want.LatMs[ti] {
+			if res.LatMs[ti][si] != want.LatMs[ti][si] {
+				t.Errorf("lat[%d][%d]: dist %x engine %x", ti, si, res.LatMs[ti][si], want.LatMs[ti][si])
+			}
+		}
+	}
+	for ri := range want.Mu {
+		if res.Mu[ri] != want.Mu[ri] {
+			t.Errorf("mu[%d]: dist %x engine %x", ri, res.Mu[ri], want.Mu[ri])
+		}
+	}
+}
+
+// Loss-free run with the codec on (the default): past the freeze point every
+// non-keyframe broadcast is a marker, so the run must report substantial
+// suppression while remaining bitwise equal to the engine.
+func TestDeltaLossFreeBitwiseAndSaves(t *testing.T) {
+	const rounds = 200
+	w := frozenWorkload(t)
+	rt, err := New(w, core.Config{}, transport.NewInproc(transport.InprocConfig{QueueLen: 16384}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := rt.Run(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesEngineBitwise(t, frozenWorkload(t), res, rounds)
+	if res.DeltaSuppressed == 0 {
+		t.Error("frozen 200-round run sent no delta markers")
+	}
+	if res.DeltaBytesSaved == 0 {
+		t.Error("delta markers saved no encoded bytes")
+	}
+}
+
+// The same run with Sparse off must produce the same bits and zero markers:
+// the dense protocol is untouched by the codec machinery.
+func TestDeltaDisabledSendsFullPayloads(t *testing.T) {
+	const rounds = 150
+	w := frozenWorkload(t)
+	rt, err := New(w, core.Config{Sparse: core.SparseOff}, transport.NewInproc(transport.InprocConfig{QueueLen: 16384}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := rt.Run(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesEngineBitwise(t, frozenWorkload(t), res, rounds)
+	if res.DeltaSuppressed != 0 || res.DeltaBytesSaved != 0 {
+		t.Errorf("SparseOff run still delta-encoded: suppressed=%d bytes=%d",
+			res.DeltaSuppressed, res.DeltaBytesSaved)
+	}
+}
+
+// Chaos-mode delta recovery: under loss, duplication and reordering the
+// reliability layer re-sends cached full payloads (never markers) and
+// keyframes bound marker chains, so the run reconverges to the exact same
+// fixed point bitwise while still suppressing payloads past the freeze.
+func TestDeltaChaosReconvergesBitwise(t *testing.T) {
+	const rounds = 160
+	w := frozenWorkload(t)
+	ch, inner := chaosNet(transport.ChaosConfig{
+		Seed:          19,
+		LossRate:      0.08,
+		DupRate:       0.08,
+		DelayMs:       0.2,
+		DelayJitterMs: 0.3,
+		ReorderRate:   0.08,
+	})
+	rt, err := New(w, core.Config{}, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.SetFaultPolicy(fastPolicy())
+
+	res := runWithDeadline(t, rt, rounds)
+	assertMatchesEngineBitwise(t, frozenWorkload(t), res, rounds)
+	if res.DeltaSuppressed == 0 {
+		t.Error("chaos run past the freeze point sent no delta markers")
+	}
+	if res.Retransmits == 0 {
+		t.Error("8% loss over 160 rounds recovered without a single retransmit")
+	}
+	ch.Wait()
+	inner.Wait()
+}
+
+// Async suppression: once a node's inputs are bitwise stable and its last
+// update was a fixed point, further compute steps are skipped — while idle
+// heartbeats keep leases alive, so nothing degrades. The run must still
+// converge to the serial optimum.
+func TestAsyncSparseSuppression(t *testing.T) {
+	e, err := core.NewEngine(workload.Base(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	snap, ok := e.RunUntilConverged(20000, 1e-9, 30, 1e-3)
+	if !ok {
+		t.Fatalf("serial engine did not converge: %v", snap)
+	}
+
+	net := transport.NewInproc(transport.InprocConfig{QueueLen: 16384})
+	res, err := RunAsync(workload.Base(), core.Config{}, net, 1500*time.Millisecond, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedSteps == 0 {
+		t.Error("quiesced async run skipped no compute steps")
+	}
+	if res.DegradedRounds != 0 {
+		t.Errorf("suppression starved a lease: %d degraded rounds", res.DegradedRounds)
+	}
+	if rel := math.Abs(res.Utility-snap.Utility) / math.Abs(snap.Utility); rel > 0.01 {
+		t.Errorf("async utility %.3f vs serial %.3f (%.2f%% off, want ≤1%%)", res.Utility, snap.Utility, rel*100)
+	}
+	net.Wait()
+}
+
+// With Sparse off the async loop never suppresses.
+func TestAsyncSparseOffNeverSkips(t *testing.T) {
+	net := transport.NewInproc(transport.InprocConfig{QueueLen: 16384})
+	res, err := RunAsync(workload.Base(), core.Config{Sparse: core.SparseOff}, net, 700*time.Millisecond, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedSteps != 0 {
+		t.Errorf("SparseOff async run skipped %d steps", res.SkippedSteps)
+	}
+	net.Wait()
+}

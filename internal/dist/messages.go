@@ -7,28 +7,71 @@
 // equivalence.
 package dist
 
+import "encoding/json"
+
+// Delta codec. Near convergence the per-round payloads stop changing:
+// prices freeze bitwise and so do latencies. The round-synchronized
+// protocol still needs one message per edge per round (the round gate
+// counts senders, not bytes), so instead of suppressing the send, a sender
+// whose payload is bitwise identical to its previous round's replaces it
+// with a delta marker — Delta set, the value fields omitted — meaning "same
+// as my round r−1 message". The round protocol makes the reference
+// well-founded without per-receiver ack maps: a resource broadcasts its
+// round-r price only after folding every controller's round r−1 latencies,
+// and a controller sends round-r latencies only after folding every round-r
+// price, so the receiver of a round-r delta provably folded the sender's
+// round r−1 value already. Retransmissions and stale recovery always
+// re-send the cached full message, so a lost delta is recovered by value,
+// and every deltaKeyframeInterval rounds a full keyframe goes out anyway as
+// defense-in-depth. Folding a delta (keep the held value) therefore
+// produces the same bits as folding the full message, and the run stays
+// bitwise identical to the dense protocol and to core.Engine.
+
+// deltaKeyframeInterval is the period of forced full-payload broadcasts
+// when the delta codec is active: rounds divisible by it never use delta
+// markers, bounding how long any recovery path can go without seeing a
+// payload by value.
+const deltaKeyframeInterval = 16
+
+// encodedBytesSaved reports how many payload bytes a delta marker keeps off
+// the wire relative to the full message, measured on the JSON encoding the
+// transport actually ships. Returns 0 when the marker is not smaller.
+func encodedBytesSaved(full, delta any) int64 {
+	fb, err1 := json.Marshal(full)
+	db, err2 := json.Marshal(delta)
+	if err1 != nil || err2 != nil || len(fb) <= len(db) {
+		return 0
+	}
+	return int64(len(fb) - len(db))
+}
+
 // priceMsg is sent by a resource node to every controller with a subtask on
 // the resource: the resource price and the congestion flag that drives the
 // adaptive path-step heuristic. Seq is a per-sender monotonic sequence number
 // used by the asynchronous protocol to reject duplicated and reordered-stale
 // deliveries; the round-synchronized protocol leaves it zero (round gating
-// already makes folds idempotent there).
+// already makes folds idempotent there). Delta marks a delta-encoded
+// broadcast: Mu/Congested are omitted and the receiver keeps the values it
+// folded for the previous round.
 type priceMsg struct {
 	Round     int     `json:"round"`
 	Seq       int64   `json:"seq,omitempty"`
 	Resource  string  `json:"resource"`
-	Mu        float64 `json:"mu"`
-	Congested bool    `json:"congested"`
+	Mu        float64 `json:"mu,omitempty"`
+	Congested bool    `json:"congested,omitempty"`
+	Delta     bool    `json:"delta,omitempty"`
 }
 
 // latencyMsg is sent by a controller to a resource node: the newly allocated
 // latencies of the controller's subtasks hosted on that resource. Seq works
-// like priceMsg.Seq.
+// like priceMsg.Seq; Delta marks a coalesced share report whose latencies
+// are unchanged from the previous round (LatMs omitted).
 type latencyMsg struct {
 	Round int                `json:"round"`
 	Seq   int64              `json:"seq,omitempty"`
 	Task  string             `json:"task"`
-	LatMs map[string]float64 `json:"latMs"`
+	LatMs map[string]float64 `json:"latMs,omitempty"`
+	Delta bool               `json:"delta,omitempty"`
 }
 
 // reportMsg is sent by a controller to the coordinator after each round so

@@ -44,21 +44,34 @@ type resourceNode struct {
 	// lat holds the latest latency of each subtask on this resource.
 	lat map[[2]int]float64
 
-	// fp and stop are installed by the runtime before run.
+	// fp, stop and delta are installed by the runtime before run.
 	fp   FaultPolicy
 	stop <-chan struct{}
-	// lastPrice caches the latest broadcast for retransmission and stale
-	// recovery.
+	// delta enables the delta codec (messages.go): broadcasts whose payload
+	// is bitwise unchanged from the previous round go out as markers.
+	delta bool
+	// lastPrice caches the latest full broadcast for retransmission and
+	// stale recovery — recovery always re-sends by value, never a marker.
 	lastPrice priceMsg
+	// prevMu/prevCong hold the previous round's broadcast payload (the
+	// delta codec's reference); prevValid gates the first round.
+	prevMu    float64
+	prevCong  bool
+	prevValid bool
 	// retransmits and rejectedStale count fault-recovery events; read by the
-	// runtime after the node goroutine joins.
-	retransmits   int64
-	rejectedStale int64
+	// runtime after the node goroutine joins. deltaSuppressed counts
+	// delta-encoded broadcasts, deltaBytesSaved the payload bytes those
+	// markers kept off the wire.
+	retransmits     int64
+	rejectedStale   int64
+	deltaSuppressed int64
+	deltaBytesSaved int64
 	// mRetransmits/mRejectedStale mirror the counters live on an attached
 	// metrics registry; rm carries the per-resource gauges. All nil (and
 	// therefore no-ops) unless observability is attached before run.
-	mRetransmits, mRejectedStale *obs.Counter
-	rm                           *obs.ResourceMetrics
+	mRetransmits, mRejectedStale       *obs.Counter
+	mDeltaSuppressed, mDeltaBytesSaved *obs.Counter
+	rm                                 *obs.ResourceMetrics
 	// liveMu mirrors the agent's price after every completed round. Unlike
 	// rm it is always on: the coordinator reads it (atomically, from its own
 	// goroutine) to answer admission queries against fresh prices.
@@ -90,7 +103,9 @@ func newResourceNode(p *core.Problem, ri int, agent *core.ResourceAgent, ep tran
 }
 
 // broadcastPrice sends the current price to every interested controller and
-// caches it for retransmission.
+// caches the full message for retransmission. With the delta codec enabled
+// and the payload bitwise unchanged from the previous round, a delta marker
+// goes on the wire instead (except on keyframe rounds).
 func (n *resourceNode) broadcastPrice(round int, congested bool) error {
 	msg := priceMsg{
 		Round:     round,
@@ -99,8 +114,19 @@ func (n *resourceNode) broadcastPrice(round int, congested bool) error {
 		Congested: congested,
 	}
 	n.lastPrice = msg
+	wire := msg
+	if n.delta && n.prevValid && round%deltaKeyframeInterval != 0 &&
+		msg.Mu == n.prevMu && msg.Congested == n.prevCong {
+		wire = priceMsg{Round: round, Resource: msg.Resource, Delta: true}
+		saved := encodedBytesSaved(msg, wire) * int64(len(n.controllers))
+		n.deltaSuppressed += int64(len(n.controllers))
+		n.deltaBytesSaved += saved
+		n.mDeltaSuppressed.Add(int64(len(n.controllers)))
+		n.mDeltaBytesSaved.Add(saved)
+	}
+	n.prevMu, n.prevCong, n.prevValid = msg.Mu, msg.Congested, true
 	for _, tn := range n.controllers {
-		if err := n.ep.Send(controllerAddr(tn), kindPrice, msg); err != nil {
+		if err := n.ep.Send(controllerAddr(tn), kindPrice, wire); err != nil {
 			return fmt.Errorf("dist: resource %s: %w", n.p.Resources[n.ri].ID, err)
 		}
 	}
@@ -298,19 +324,27 @@ type controllerNode struct {
 	// them.
 	reports bool
 
-	// fp and stop are installed by the runtime before run.
+	// fp, stop and delta are installed by the runtime before run.
 	fp   FaultPolicy
 	stop <-chan struct{}
-	// lastLat caches the latest latency message per resource for
-	// retransmission and stale recovery.
+	// delta enables coalesced share reports (messages.go): per-resource
+	// latency messages whose payload is bitwise unchanged from the previous
+	// round go out as markers.
+	delta bool
+	// lastLat caches the latest full latency message per resource for
+	// retransmission, stale recovery, and as the delta codec's reference.
 	lastLat map[int]latencyMsg
 	// retransmits and rejectedStale count fault-recovery events; read by the
-	// runtime after the node goroutine joins.
-	retransmits   int64
-	rejectedStale int64
+	// runtime after the node goroutine joins. deltaSuppressed counts
+	// delta-encoded share reports, deltaBytesSaved the bytes they saved.
+	retransmits     int64
+	rejectedStale   int64
+	deltaSuppressed int64
+	deltaBytesSaved int64
 	// mRetransmits/mRejectedStale mirror the counters live on an attached
 	// metrics registry; nil (no-op) unless observability is attached.
-	mRetransmits, mRejectedStale *obs.Counter
+	mRetransmits, mRejectedStale       *obs.Counter
+	mDeltaSuppressed, mDeltaBytesSaved *obs.Counter
 }
 
 // newControllerNode wires a task controller to an endpoint.
@@ -339,8 +373,10 @@ func newControllerNode(p *core.Problem, ti int, ctl *core.Controller, ep transpo
 }
 
 // sendLatencies distributes the freshly allocated latencies, grouped per
-// resource, caches them for retransmission, and reports utility to the
-// coordinator.
+// resource, caches the full messages for retransmission, and reports
+// utility to the coordinator. With the delta codec enabled, a resource
+// whose latencies are bitwise unchanged from the previous round gets a
+// coalesced marker instead of the payload (except on keyframe rounds).
 func (n *controllerNode) sendLatencies(round int) error {
 	pt := &n.p.Tasks[n.ti]
 	byRes := make(map[int]map[string]float64, len(n.res))
@@ -354,8 +390,18 @@ func (n *controllerNode) sendLatencies(round int) error {
 	}
 	for ri, lats := range byRes {
 		msg := latencyMsg{Round: round, Task: n.name, LatMs: lats}
+		wire := msg
+		if n.delta && round%deltaKeyframeInterval != 0 &&
+			latMapsEqual(lats, n.lastLat[ri].LatMs) {
+			wire = latencyMsg{Round: round, Task: n.name, Delta: true}
+			saved := encodedBytesSaved(msg, wire)
+			n.deltaSuppressed++
+			n.deltaBytesSaved += saved
+			n.mDeltaSuppressed.Inc()
+			n.mDeltaBytesSaved.Add(saved)
+		}
 		n.lastLat[ri] = msg
-		if err := n.ep.Send(resourceAddr(n.p.Resources[ri].ID), kindLatency, msg); err != nil {
+		if err := n.ep.Send(resourceAddr(n.p.Resources[ri].ID), kindLatency, wire); err != nil {
 			return fmt.Errorf("dist: controller %s: %w", n.name, err)
 		}
 	}
@@ -367,6 +413,20 @@ func (n *controllerNode) sendLatencies(round int) error {
 		Task:    n.name,
 		Utility: n.ctl.Utility(),
 	})
+}
+
+// latMapsEqual compares two latency payloads bitwise. A nil prev (first
+// round) never matches.
+func latMapsEqual(a, b map[string]float64) bool {
+	if b == nil || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
 }
 
 // rebroadcast re-sends the cached latencies to the resources whose prices
@@ -464,8 +524,13 @@ func (n *controllerNode) run(maxRounds int) error {
 			if !ok {
 				return fmt.Errorf("dist: controller %s: unknown resource %q", n.name, pm.Resource)
 			}
-			mu[ri] = pm.Mu
-			congested[ri] = pm.Congested
+			if !pm.Delta {
+				// A delta marker means "same as my previous round": mu and
+				// congested already hold exactly that (round gating guarantees
+				// the round r−1 fold happened), so only full payloads write.
+				mu[ri] = pm.Mu
+				congested[ri] = pm.Congested
+			}
 			got[pm.Resource] = true
 		}
 		delete(pending, round)

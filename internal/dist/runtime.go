@@ -95,9 +95,11 @@ func (r *Runtime) Observe(o *obs.Observer) {
 	if o == nil {
 		for _, n := range r.resNodes {
 			n.mRetransmits, n.mRejectedStale, n.rm = nil, nil, nil
+			n.mDeltaSuppressed, n.mDeltaBytesSaved = nil, nil
 		}
 		for _, n := range r.ctlNodes {
 			n.mRetransmits, n.mRejectedStale = nil, nil
+			n.mDeltaSuppressed, n.mDeltaBytesSaved = nil, nil
 		}
 		return
 	}
@@ -105,14 +107,26 @@ func (r *Runtime) Observe(o *obs.Observer) {
 		return
 	}
 	r.dm = obs.NewDistMetrics(o.Metrics)
+	var sm *obs.SparseMetrics
+	if r.cfg.Sparse != core.SparseOff {
+		sm = obs.NewSparseMetrics(o.Metrics)
+	}
 	for ri, n := range r.resNodes {
 		n.mRetransmits = r.dm.Retransmits
 		n.mRejectedStale = r.dm.RejectedStale
+		if sm != nil {
+			n.mDeltaSuppressed = sm.DeltaBroadcasts
+			n.mDeltaBytesSaved = sm.DeltaBytesSaved
+		}
 		n.rm = obs.NewResourceMetrics(o.Metrics, r.p.Resources[ri].ID)
 	}
 	for _, n := range r.ctlNodes {
 		n.mRetransmits = r.dm.Retransmits
 		n.mRejectedStale = r.dm.RejectedStale
+		if sm != nil {
+			n.mDeltaSuppressed = sm.DeltaBroadcasts
+			n.mDeltaBytesSaved = sm.DeltaBytesSaved
+		}
 	}
 }
 
@@ -146,6 +160,12 @@ type Result struct {
 	Retransmits int64
 	// RejectedStale counts received messages from already-completed rounds.
 	RejectedStale int64
+	// DeltaSuppressed counts delta-encoded sends: broadcasts and share
+	// reports whose payload was unchanged and went out as markers.
+	DeltaSuppressed int64
+	// DeltaBytesSaved totals the encoded payload bytes those markers kept
+	// off the wire.
+	DeltaBytesSaved int64
 	// LeaseExpirations counts coordinator-observed report leases expiring: a
 	// controller stayed silent longer than FaultPolicy.LeaseAfter.
 	LeaseExpirations int64
@@ -179,6 +199,7 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 	errCh := make(chan error, len(r.ctlNodes)*2+len(r.resNodes)*2+8)
 	for _, n := range r.resNodes {
 		n.fp, n.stop = r.fp, r.stop
+		n.delta = r.cfg.Sparse != core.SparseOff
 		wg.Add(1)
 		go func(n *resourceNode) {
 			defer wg.Done()
@@ -189,6 +210,7 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 	}
 	for _, n := range r.ctlNodes {
 		n.fp, n.stop = r.fp, r.stop
+		n.delta = r.cfg.Sparse != core.SparseOff
 		wg.Add(1)
 		go func(n *controllerNode) {
 			defer wg.Done()
@@ -306,10 +328,14 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 	for _, n := range r.ctlNodes {
 		res.Retransmits += n.retransmits
 		res.RejectedStale += n.rejectedStale
+		res.DeltaSuppressed += n.deltaSuppressed
+		res.DeltaBytesSaved += n.deltaBytesSaved
 	}
 	for _, n := range r.resNodes {
 		res.Retransmits += n.retransmits
 		res.RejectedStale += n.rejectedStale
+		res.DeltaSuppressed += n.deltaSuppressed
+		res.DeltaBytesSaved += n.deltaBytesSaved
 	}
 	return res, nil
 }

@@ -56,9 +56,14 @@ func RunResourceObserved(ctx context.Context, w *workload.Workload, cfg core.Con
 	agent := core.NewResourceAgent(p, ri, cfg.NewStepSizer(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu)
 	node := newResourceNode(p, ri, agent, ep)
 	node.fp, node.stop = DefaultFaultPolicy(), ctx.Done()
+	node.delta = cfg.Sparse != core.SparseOff
 	if o != nil && o.Metrics != nil {
 		dm := obs.NewDistMetrics(o.Metrics)
 		node.mRetransmits, node.mRejectedStale = dm.Retransmits, dm.RejectedStale
+		if node.delta {
+			sm := obs.NewSparseMetrics(o.Metrics)
+			node.mDeltaSuppressed, node.mDeltaBytesSaved = sm.DeltaBroadcasts, sm.DeltaBytesSaved
+		}
 		node.rm = obs.NewResourceMetrics(o.Metrics, resourceID)
 	}
 	if err := node.run(rounds); err != nil {
@@ -103,9 +108,14 @@ func RunControllerObserved(ctx context.Context, w *workload.Workload, cfg core.C
 	node := newControllerNode(p, ti, ctl, ep)
 	node.reports = false
 	node.fp, node.stop = DefaultFaultPolicy(), ctx.Done()
+	node.delta = cfg.Sparse != core.SparseOff
 	if o != nil && o.Metrics != nil {
 		dm := obs.NewDistMetrics(o.Metrics)
 		node.mRetransmits, node.mRejectedStale = dm.Retransmits, dm.RejectedStale
+		if node.delta {
+			sm := obs.NewSparseMetrics(o.Metrics)
+			node.mDeltaSuppressed, node.mDeltaBytesSaved = sm.DeltaBroadcasts, sm.DeltaBytesSaved
+		}
 	}
 	if err := node.run(rounds); err != nil {
 		return nil, 0, err

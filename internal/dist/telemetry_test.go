@@ -105,10 +105,14 @@ func TestChaosTelemetryJSONLReconstructs(t *testing.T) {
 
 	// Phase 2: async run under a resource crash/restart — event lines.
 	ch, inner := chaosNet(transport.ChaosConfig{Seed: 11, LossRate: 0.05})
+	// LeaseAfter must clear the crash window comfortably below 500ms but
+	// leave generous absolute slack: sparse suppression means a quiesced
+	// resource advertises at heartbeat cadence (RetransmitAfter), so a
+	// too-tight lease expires spuriously under race-detector scheduling.
 	fp := FaultPolicy{
 		RetransmitAfter: 3 * time.Millisecond,
 		RetransmitMax:   30 * time.Millisecond,
-		LeaseAfter:      25 * time.Millisecond,
+		LeaseAfter:      80 * time.Millisecond,
 	}
 	go func() {
 		time.Sleep(400 * time.Millisecond)

@@ -27,7 +27,9 @@ func AblationWeights(opts Options) (*Result, error) {
 		Header: []string{"variant", "converged", "iters", "utility", "max res viol", "max path viol"},
 	}
 	for _, mode := range []task.WeightMode{task.WeightSum, task.WeightPathNormalized, task.WeightPathRaw} {
-		e, err := core.NewEngine(workload.Base(), core.Config{WeightMode: mode, Workers: opts.Workers})
+		ecfg := opts.engineConfig()
+		ecfg.WeightMode = mode
+		e, err := core.NewEngine(workload.Base(), ecfg)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +74,7 @@ func AblationBaselines(opts Options) (*Result, error) {
 			Header: []string{"algorithm", "utility", "max res viol", "max path viol", "feasible"},
 		}
 
-		e, err := core.NewEngine(w, core.Config{Workers: opts.Workers})
+		e, err := core.NewEngine(w, opts.engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +134,7 @@ func Adaptation(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.NewEngine(w, core.Config{Workers: opts.Workers})
+	e, err := core.NewEngine(w, opts.engineConfig())
 	if err != nil {
 		return nil, err
 	}

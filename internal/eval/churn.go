@@ -69,7 +69,7 @@ type churnPolicyRun struct {
 // engine: an event whose settled state still violates a critical time or a
 // resource capacity beyond tol counts as a violation event.
 func replayChurn(opts Options, trace []workload.ChurnEvent, cfg admit.Config, label string) (*churnPolicyRun, error) {
-	eng, err := core.NewEngine(churnPool(), core.Config{Workers: opts.Workers})
+	eng, err := core.NewEngine(churnPool(), opts.engineConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -138,6 +138,11 @@ type Options struct {
 	Quick   bool
 	Seed    int64
 	Workers int
+	// Sparse selects the engine iteration path (core.SparseAuto resolves to
+	// the incremental active-set path; core.SparseOff forces the dense
+	// sweep). The two paths are bitwise identical, so the artifacts do not
+	// depend on the setting — only wall-clock time does.
+	Sparse core.SparseMode
 	// Observer, when non-nil, is attached to every engine an experiment
 	// creates, so a run streams per-iteration telemetry (KKT residuals,
 	// prices, utilities — see internal/obs) without changing the artifacts:
@@ -151,6 +156,13 @@ type Options struct {
 // attach hooks the configured observer (if any) onto an engine. Every
 // experiment calls it right after core.NewEngine.
 func (o Options) attach(e *core.Engine) { e.Observe(o.Observer) }
+
+// engineConfig is the core.Config every experiment starts from; runners that
+// sweep additional knobs (step sizers, weight modes) amend the returned
+// value before handing it to core.NewEngine.
+func (o Options) engineConfig() core.Config {
+	return core.Config{Workers: o.Workers, Sparse: o.Sparse}
+}
 
 // f1, f2, f3 are numeric cell formatters.
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

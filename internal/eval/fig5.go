@@ -39,7 +39,9 @@ func Fig5(opts Options) (*Result, error) {
 	}
 
 	for _, cfg := range configs {
-		e, err := core.NewEngine(workload.Base(), core.Config{Step: cfg.step, Workers: opts.Workers})
+		ecfg := opts.engineConfig()
+		ecfg.Step = cfg.step
+		e, err := core.NewEngine(workload.Base(), ecfg)
 		if err != nil {
 			return nil, err
 		}

@@ -23,7 +23,7 @@ func Fig7(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.NewEngine(w, core.Config{Workers: opts.Workers})
+	e, err := core.NewEngine(w, opts.engineConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"lla/internal/closedloop"
-	"lla/internal/core"
 	"lla/internal/errcorr"
 	"lla/internal/sim"
 	"lla/internal/stats"
@@ -32,7 +31,7 @@ func Fig8(opts Options) (*Result, error) {
 
 	loop, err := closedloop.New(
 		workload.Prototype(),
-		core.Config{Workers: opts.Workers},
+		opts.engineConfig(),
 		sim.Config{Scheduler: sim.Quantum, QuantumMs: 5, Seed: opts.Seed + 1},
 		closedloop.Config{EpochMs: epochMs, Corrector: errcorr.Config{}},
 	)

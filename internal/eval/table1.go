@@ -18,7 +18,7 @@ func Table1(opts Options) (*Result, error) {
 		iters = 1500
 	}
 	w := workload.Base()
-	e, err := core.NewEngine(w, core.Config{Workers: opts.Workers})
+	e, err := core.NewEngine(w, opts.engineConfig())
 	if err != nil {
 		return nil, err
 	}

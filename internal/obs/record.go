@@ -46,17 +46,23 @@ type IterationSample struct {
 	// Lambda is the concatenation of per-task path-price vectors,
 	// task-major in compiled order.
 	Lambda []float64 `json:"lambda"`
+	// KKT holds the individual normalized Equation 7 residuals over
+	// interior subtasks (the vector KKTMax/KKTMean/KKTCount summarize).
+	// Omitted from JSONL traces when the component publishes only the
+	// summary.
+	KKT []float64 `json:"kkt,omitempty"`
 }
 
 // copyFrom deep-copies src into s, reusing s's slice capacity.
 func (s *IterationSample) copyFrom(src *IterationSample) {
-	mu, sums, avail, gamma, lambda := s.Mu, s.ShareSums, s.Avail, s.Gamma, s.Lambda
+	mu, sums, avail, gamma, lambda, kkt := s.Mu, s.ShareSums, s.Avail, s.Gamma, s.Lambda, s.KKT
 	*s = *src
 	s.Mu = append(mu[:0], src.Mu...)
 	s.ShareSums = append(sums[:0], src.ShareSums...)
 	s.Avail = append(avail[:0], src.Avail...)
 	s.Gamma = append(gamma[:0], src.Gamma...)
 	s.Lambda = append(lambda[:0], src.Lambda...)
+	s.KKT = append(kkt[:0], src.KKT...)
 }
 
 // Recorder receives per-iteration telemetry. The observed component calls

@@ -53,6 +53,40 @@ func NewResourceMetrics(r *Registry, id string) *ResourceMetrics {
 	}
 }
 
+// SparseMetrics is the incremental-iteration metric set: how much work the
+// active-set engine path skipped (bitwise fixed-point controllers and clean
+// resources) and how much wire traffic the distributed delta codec saved.
+// The engine publishes the first four; the distributed runtime the last two.
+type SparseMetrics struct {
+	// SkippedSolves counts controller solves skipped because the observed
+	// prices matched the previous solve's fingerprint at a fixed point.
+	SkippedSolves *Counter
+	// ExecutedSolves counts controller solves actually performed.
+	ExecutedSolves *Counter
+	// CleanResources counts resource price updates skipped as clean.
+	CleanResources *Counter
+	// RepricedResources counts resource price updates actually performed.
+	RepricedResources *Counter
+	// DeltaBroadcasts counts price broadcasts suppressed by the delta
+	// codec (mu unchanged since the receiver's acknowledged round).
+	DeltaBroadcasts *Counter
+	// DeltaBytesSaved counts payload bytes the suppressed broadcasts and
+	// coalesced reports would have put on the wire.
+	DeltaBytesSaved *Counter
+}
+
+// NewSparseMetrics registers the incremental-iteration metric set on r.
+func NewSparseMetrics(r *Registry) *SparseMetrics {
+	return &SparseMetrics{
+		SkippedSolves:     r.Counter("lla_sparse_skipped_solves_total", "Controller solves skipped at a bitwise fixed point."),
+		ExecutedSolves:    r.Counter("lla_sparse_executed_solves_total", "Controller solves actually performed."),
+		CleanResources:    r.Counter("lla_sparse_clean_resources_total", "Resource price updates skipped as clean."),
+		RepricedResources: r.Counter("lla_sparse_repriced_resources_total", "Resource price updates actually performed."),
+		DeltaBroadcasts:   r.Counter("lla_sparse_delta_broadcasts_total", "Price broadcasts suppressed by the delta codec."),
+		DeltaBytesSaved:   r.Counter("lla_sparse_delta_bytes_saved_total", "Payload bytes saved by delta suppression and report coalescing."),
+	}
+}
+
 // AdmitMetrics is the admission controller's standard metric set — the live
 // counterpart of its returned decision log (the internal/admit tests assert
 // the two agree exactly).

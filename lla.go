@@ -137,6 +137,25 @@ type Config = core.Config
 // congestion-doubling heuristic.
 type StepPolicy = core.StepPolicy
 
+// SparseMode selects the iteration path: the default (SparseAuto, the zero
+// value) resolves to SparseOn — the incremental active-set path that skips
+// controllers whose observed prices are unchanged and resources whose
+// contributing shares are unchanged. SparseOff forces the dense sweep. Both
+// paths produce bitwise-identical trajectories; only wall-clock time
+// differs.
+type SparseMode = core.SparseMode
+
+// Sparse iteration toggles for Config.Sparse.
+const (
+	SparseAuto = core.SparseAuto
+	SparseOn   = core.SparseOn
+	SparseOff  = core.SparseOff
+)
+
+// SparseStats aggregates the active-set path's skip counters, as
+// Engine.SparseStats returns.
+type SparseStats = core.SparseStats
+
 // Snapshot is the optimizer's observable state after an iteration. Engines
 // also offer SnapshotInto (refill a reusable snapshot without allocating)
 // and Probe (just the convergence scalars) for per-iteration polling.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the core optimizer benchmarks and writes BENCH_core.json (parsed via
+# scripts/benchparse), failing if the sparse converged-step path is not
+# faster than the dense one.
+#
+#   scripts/bench.sh [output.json]
+#   BENCHTIME=200ms scripts/bench.sh     # quicker smoke run (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_core.json}"
+benchtime="${BENCHTIME:-1s}"
+
+go test -run '^$' \
+  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$' \
+  -benchtime "$benchtime" -json . \
+  | go run ./scripts/benchparse -o "$out" -check

@@ -1,0 +1,172 @@
+// Command benchparse turns `go test -bench -json` output (the test2json
+// event stream) into a compact BENCH_core.json: one record per benchmark
+// with its iteration count and every reported metric (ns/op, B/op,
+// allocs/op, and custom metrics like skipped_pct).
+//
+//	go test -run '^$' -bench . -json . | go run ./scripts/benchparse -o BENCH_core.json -check
+//
+// -check enforces the sparse-iteration regression gate: the steady-state
+// converged Step must be faster on the sparse path than on the dense path
+// (BenchmarkEngineStepConverged/sparse vs /dense), or the exit code is 1.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream benchparse needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// record is one parsed benchmark result.
+type record struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// report is the BENCH_core.json document.
+type report struct {
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output path for the parsed benchmark report")
+	check := flag.Bool("check", false,
+		"fail unless BenchmarkEngineStepConverged/sparse ns/op is below .../dense")
+	flag.Parse()
+
+	recs, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchparse:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchparse: no benchmark results in input")
+		os.Exit(1)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	doc, err := json.MarshalIndent(report{Benchmarks: recs}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchparse:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchparse:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: %d benchmarks -> %s\n", len(recs), *out)
+
+	if *check {
+		if err := checkSparseFaster(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchparse: check passed: converged-step sparse < dense")
+	}
+}
+
+// parse consumes a test2json stream and extracts benchmark result lines.
+// test2json splits a benchmark result across output events (the name flushes
+// on the tab, the timings arrive separately), so output fragments are
+// reassembled into logical lines before parsing. Non-JSON input is tolerated
+// (plain `go test -bench` output works too).
+func parse(f *os.File) ([]record, error) {
+	var recs []record
+	var buf strings.Builder
+	flush := func(chunk string) {
+		buf.WriteString(chunk)
+		for {
+			s := buf.String()
+			nl := strings.IndexByte(s, '\n')
+			if nl < 0 {
+				return
+			}
+			if r, ok := parseBenchLine(strings.TrimSpace(s[:nl])); ok {
+				recs = append(recs, r)
+			}
+			buf.Reset()
+			buf.WriteString(s[nl+1:])
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Action != "output" {
+				continue
+			}
+			flush(ev.Output)
+			continue
+		}
+		flush(line + "\n")
+	}
+	flush("\n") // terminate a trailing partial line
+	return recs, sc.Err()
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkFoo/sub-8   123456   987.6 ns/op   42.0 custom_metric   0 B/op   0 allocs/op
+func parseBenchLine(s string) (record, bool) {
+	if !strings.HasPrefix(s, "Benchmark") {
+		return record{}, false
+	}
+	fields := strings.Fields(s)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: fields[0], Iters: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if _, ok := r.Metrics["ns/op"]; !ok {
+		return record{}, false
+	}
+	return r, true
+}
+
+// checkSparseFaster enforces the regression gate on the converged-step pair.
+func checkSparseFaster(recs []record) error {
+	find := func(sub string) (record, error) {
+		for _, r := range recs {
+			if strings.HasPrefix(r.Name, "BenchmarkEngineStepConverged/"+sub) {
+				return r, nil
+			}
+		}
+		return record{}, fmt.Errorf("BenchmarkEngineStepConverged/%s missing from input", sub)
+	}
+	dense, err := find("dense")
+	if err != nil {
+		return err
+	}
+	sparse, err := find("sparse")
+	if err != nil {
+		return err
+	}
+	d, s := dense.Metrics["ns/op"], sparse.Metrics["ns/op"]
+	if s >= d {
+		return fmt.Errorf("sparse steady-state step (%.1f ns/op) is not faster than dense (%.1f ns/op)", s, d)
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: converged step: dense %.1f ns/op, sparse %.1f ns/op (%.2fx)\n", d, s, d/s)
+	return nil
+}
