@@ -25,6 +25,7 @@ import (
 	"lla/internal/baseline"
 	"lla/internal/core"
 	"lla/internal/eval"
+	"lla/internal/price"
 	"lla/internal/sim"
 	"lla/internal/task"
 	"lla/internal/transport"
@@ -468,6 +469,41 @@ func BenchmarkFig6ScalabilitySparse(b *testing.B) {
 				b.ReportMetric(float64(st.SkippedSolves)/float64(total)*100, "skipped_pct")
 				e.Close()
 			}
+		})
+	}
+}
+
+// BenchmarkRoundsToConverge measures rounds-to-converge per price solver on
+// the Figure 6 12-task workload under the KKT stationarity criterion
+// (DESIGN.md §12) — the headline metric of the accelerated price dynamics.
+// Every solver reaches the same fixed point; the accelerated ones must get
+// there in no more rounds than the reference gradient (scripts/benchparse
+// gates on the rounds metric, which is deterministic per solver). In the
+// distributed runtime each round is a full broadcast round, so rounds saved
+// here are network round-trips saved there.
+func BenchmarkRoundsToConverge(b *testing.B) {
+	for _, solver := range price.Solvers() {
+		b.Run(string(solver), func(b *testing.B) {
+			var rounds, fallbacks float64
+			for i := 0; i < b.N; i++ {
+				w, err := workload.Replicate(workload.Base(), 4, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := core.NewEngine(w, core.Config{PriceSolver: solver})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap, ok := e.RunUntilKKT(4000, 1e-9, 3, 1e-6)
+				if !ok {
+					b.Fatalf("solver %s did not reach KKT stationarity", solver)
+				}
+				rounds = float64(snap.Iteration)
+				fallbacks = float64(e.SolverFallbacks())
+				e.Close()
+			}
+			b.ReportMetric(rounds, "rounds")
+			b.ReportMetric(fallbacks, "fallbacks")
 		})
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"lla/internal/core"
 	"lla/internal/dist"
 	"lla/internal/obs"
+	"lla/internal/price"
 	"lla/internal/transport"
 	"lla/internal/workload"
 )
@@ -61,10 +62,15 @@ func run(ctx context.Context, args []string) error {
 	tracePath := fs.String("trace", "", "append JSONL trace events to this file")
 	workers := fs.Int("workers", 0, "optimizer worker shards for engine-backed computation in this process: 0 = GOMAXPROCS, 1 = serial (results are bitwise-identical either way)")
 	sparse := fs.Bool("sparse", true, "delta-encode unchanged price broadcasts and share reports (bitwise identical to the dense protocol)")
+	solver := fs.String("solver", "", "price dynamics: gradient (default), newton, anderson, price-discovery — every node of a deployment must use the same setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := core.Config{Workers: *workers, Sparse: core.SparseOn}
+	sol, err := price.ParseSolver(*solver)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Workers: *workers, Sparse: core.SparseOn, PriceSolver: sol}
 	if !*sparse {
 		cfg.Sparse = core.SparseOff
 	}

@@ -25,6 +25,7 @@ import (
 	"lla/internal/core"
 	"lla/internal/eval"
 	"lla/internal/obs"
+	"lla/internal/price"
 	"lla/internal/stats"
 )
 
@@ -54,6 +55,7 @@ var experiments = []struct {
 	{"ablation-baselines", eval.AblationBaselines},
 	{"adaptation", eval.Adaptation},
 	{"churn", eval.Churn},
+	{"solvers", eval.Solvers},
 }
 
 // experimentIDs lists every registered experiment id, in run order.
@@ -80,6 +82,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed (fig8)")
 	workers := fs.Int("workers", 0, "optimizer shards per iteration: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
 	sparse := fs.Bool("sparse", true, "incremental active-set iteration: skip converged controllers and clean resources (bitwise identical to the dense path)")
+	solver := fs.String("solver", "", "price dynamics: gradient (default), newton, anderson, price-discovery — accelerated solvers reach the same fixed point in fewer rounds")
 	csvDir := fs.String("csv", "", "directory to write full series CSVs into")
 	tracePath := fs.String("trace", "", "append per-iteration JSONL telemetry (samples + events) to this file")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
@@ -130,7 +133,11 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q (see -h for the list)", *experiment)
 	}
 
-	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o, Sparse: sparseMode(*sparse)}
+	sol, err := price.ParseSolver(*solver)
+	if err != nil {
+		return err
+	}
+	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o, Sparse: sparseMode(*sparse), Solver: sol}
 	for _, name := range selected {
 		res, err := runners[name](opts)
 		if err != nil {

@@ -188,6 +188,15 @@ func (c *Controller) AllocateLatencies(mu []float64) bool {
 	return false
 }
 
+// ResponseSlope returns subtask si's demand response −∂share/∂μ at the
+// controller's current latency — the cheap local Hessian estimate the
+// fixed-point solve already implies (see Problem.ResponseSlope for the
+// closed form). The engine and the distributed resource nodes sum it per
+// resource as the curvature input of the DiagonalNewton price dynamics.
+func (c *Controller) ResponseSlope(si int, mu float64) float64 {
+	return c.p.ResponseSlope(c.ti, si, c.LatMs[si], mu)
+}
+
 // aggregate returns the weighted latency sum Σ w_s · lat_s.
 func (c *Controller) aggregate() float64 {
 	pt := &c.p.Tasks[c.ti]

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"lla/internal/obs"
@@ -47,6 +48,14 @@ type Config struct {
 	// bitwise-identical to the dense one at every iteration and worker
 	// count; SparseOff forces the dense path (benchmark baseline).
 	Sparse SparseMode
+	// PriceSolver selects the resource-price dynamics (DESIGN.md §12):
+	// price.SolverGradient (the default) is the paper's gradient projection
+	// with the Section 5.2 doubling heuristic, bit-for-bit the pre-Dynamics
+	// behavior; the accelerated solvers (newton, anderson, price-discovery)
+	// trade it for updates that need far fewer rounds to converge. Path
+	// prices always use the reference gradient dynamics — only the resource
+	// half of the dual update is pluggable.
+	PriceSolver price.Solver
 }
 
 // WithDefaults returns the config with every unset field filled with the
@@ -71,6 +80,9 @@ func (c Config) WithDefaults() Config {
 	if c.Sparse == SparseAuto {
 		c.Sparse = SparseOn
 	}
+	if c.PriceSolver == "" {
+		c.PriceSolver = price.SolverGradient
+	}
 	return c
 }
 
@@ -86,6 +98,26 @@ func (c Config) NewStepSizer() price.StepSizer {
 		return a
 	}
 	return &price.Fixed{Value: c.Step.Gamma}
+}
+
+// NewDynamics builds the configured price-dynamics solver. Like NewStepSizer
+// it is the single source of truth: the engine and the distributed runtimes
+// construct their dynamics through it, so a config produces identical price
+// trajectories in every runtime. Call on a config that has been through
+// WithDefaults, and call Reset on the result before the first Step.
+func (c Config) NewDynamics() price.Dynamics {
+	return price.NewDynamics(c.PriceSolver, price.DynamicsConfig{
+		NewStep:     c.NewStepSizer,
+		BaseGamma:   c.Step.Gamma,
+		PriceScaled: c.Step.Adaptive,
+	})
+}
+
+// Accelerated reports whether the config selects a non-reference price
+// solver — the condition under which runtimes swap the built-in agent
+// gradient step for a Dynamics instance.
+func (c Config) Accelerated() bool {
+	return c.PriceSolver != "" && c.PriceSolver != price.SolverGradient
 }
 
 // Engine drives LLA synchronously: one Step performs a full iteration —
@@ -140,6 +172,17 @@ type Engine struct {
 	shardSkipped []uint64
 	sstats       SparseStats
 
+	// Accelerated price dynamics (DESIGN.md §12). dyn is nil for the
+	// reference gradient solver — the agents' built-in UpdatePrice path is
+	// kept bit-for-bit untouched; for accelerated solvers the resource phase
+	// runs resourcePhaseDyn instead. dynAvail/dynCurv are the preallocated
+	// StepInput scratch; dynDelta is the last round's largest |Δμ| (the
+	// residual-trajectory gauge).
+	dyn      price.Dynamics
+	dynAvail []float64
+	dynCurv  []float64
+	dynDelta float64
+
 	// obsv holds the attached observability channels (nil = disabled); the
 	// hot path pays one nil-check per Step when nothing is attached.
 	obsv *obsHandles
@@ -178,6 +221,12 @@ func NewEngine(w *workload.Workload, cfg Config) (*Engine, error) {
 	}
 	for ri := range p.Resources {
 		e.agents = append(e.agents, NewResourceAgent(p, ri, newStep(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu))
+	}
+	if cfg.Accelerated() {
+		e.dyn = cfg.NewDynamics()
+		e.dyn.Reset(len(p.Resources))
+		e.dynAvail = make([]float64, len(p.Resources))
+		e.dynCurv = make([]float64, len(p.Resources))
 	}
 	e.initSparse()
 	e.refreshResourceState()
@@ -234,9 +283,12 @@ func (e *Engine) Step() {
 	} else {
 		e.runShard(0)
 	}
-	if e.sparse {
+	switch {
+	case e.dyn != nil:
+		e.resourcePhaseDyn()
+	case e.sparse:
 		e.resourcePhaseSparse()
-	} else {
+	default:
 		for ri, a := range e.agents {
 			sum := a.ShareSumFrom(e.shares)
 			a.UpdatePrice(sum)
@@ -284,6 +336,86 @@ func (e *Engine) resourcePhaseSparse() {
 	e.sstats.ExecutedSolves += uint64(len(e.controllers)) - skipped
 	e.sstats.CleanResources += clean
 	e.sstats.RepricedResources += repriced
+}
+
+// resourcePhaseDyn is the resource phase of the accelerated price solvers:
+// reduce every resource's demand (the shares scratch rows of skipped
+// controllers still hold their fixed-point values, so the serial reduction
+// stays valid under the sparse controller path), hand the whole vector to
+// the Dynamics, and write the advanced prices back to the agents. There is
+// no per-resource skipping here — accelerated updates move prices in ways
+// the agent-stability test does not model — but the controller-side sparse
+// skipping keeps working unchanged: a repriced resource changes the
+// mu/congested fingerprints of exactly the controllers that observe it, so
+// an accelerated price change re-activates its dependent controllers on the
+// next Step.
+func (e *Engine) resourcePhaseDyn() {
+	for ri, a := range e.agents {
+		sum := a.ShareSumFrom(e.shares)
+		e.shareSums[ri] = sum
+		e.congested[ri] = a.Congested(sum)
+		e.dynAvail[ri] = e.p.Resources[ri].Availability
+	}
+	if e.dyn.NeedsCurvature() {
+		e.curvatureInto(e.dynCurv)
+	}
+	// e.mu holds this Step's frozen price snapshot; advancing it in place is
+	// safe (the controller phase has joined, and the next Step re-snapshots)
+	// and gives the Dynamics the previous prices as its iterate history.
+	e.dyn.Step(price.StepInput{
+		Mu:        e.mu,
+		ShareSums: e.shareSums,
+		Avail:     e.dynAvail,
+		Congested: e.congested,
+		Curvature: e.dynCurv,
+	})
+	maxd := 0.0
+	for ri, a := range e.agents {
+		if d := math.Abs(e.mu[ri] - a.Mu); d > maxd {
+			maxd = d
+		}
+		a.Mu = e.mu[ri]
+	}
+	e.dynDelta = maxd
+	if e.sparse {
+		var skipped uint64
+		for _, n := range e.shardSkipped {
+			skipped += n
+		}
+		e.sstats.Iterations++
+		e.sstats.SkippedSolves += skipped
+		e.sstats.ExecutedSolves += uint64(len(e.controllers)) - skipped
+		e.sstats.RepricedResources += uint64(len(e.agents))
+	}
+}
+
+// curvatureInto fills dst with each resource's demand-response curvature
+// −∂(Σ share)/∂μ, summed over its subtasks in compiled Subs order — the
+// same serial order as the share reduction, so the result is bitwise
+// worker-count independent and matches the per-resource sum a distributed
+// resource node computes locally.
+func (e *Engine) curvatureInto(dst []float64) {
+	for ri := range e.p.Resources {
+		mu := e.mu[ri]
+		c := 0.0
+		for _, sub := range e.p.Resources[ri].Subs {
+			c += e.p.ResponseSlope(sub[0], sub[1], e.controllers[sub[0]].LatMs[sub[1]], mu)
+		}
+		dst[ri] = c
+	}
+}
+
+// PriceSolver returns the configured price-dynamics solver.
+func (e *Engine) PriceSolver() price.Solver { return e.cfg.PriceSolver }
+
+// SolverFallbacks returns the cumulative safeguard-fallback count of the
+// configured price dynamics (0 for the reference gradient solver, which
+// never falls back).
+func (e *Engine) SolverFallbacks() uint64 {
+	if e.dyn == nil {
+		return 0
+	}
+	return e.dyn.Fallbacks()
 }
 
 // runShard executes the controller phase for shard w's contiguous task
@@ -388,6 +520,41 @@ func (e *Engine) RunUntilConverged(maxIters int, relTol float64, window int, tol
 		if det.Observe(pr.Utility) && pr.MaxResourceViolation < tol && pr.MaxPathViolationFrac < tol {
 			e.emit(obs.Event{Kind: obs.EventConverged, Iteration: pr.Iteration, Value: pr.Utility})
 			return e.Snapshot(), true
+		}
+	}
+	return e.Snapshot(), false
+}
+
+// RunUntilKKT iterates until the point is a certified stationary point: the
+// worst normalized Equation 7 residual over interior subtasks stays below
+// kktTol for window consecutive iterations while no constraint is violated
+// beyond tol, or until maxIters. It returns the final snapshot and whether
+// convergence was reached.
+//
+// This is a strictly stronger criterion than RunUntilConverged's
+// utility-stability window: under oscillating prices the aggregate utility
+// can sit still (the oscillation cancels across tasks) while the KKT
+// residuals are still shrinking, so the utility window can declare
+// convergence at a point that is not yet the fixed point. Solver
+// comparisons (the eval solvers sweep, BenchmarkRoundsToConverge) use this
+// criterion so every solver is measured against the same true fixed point.
+func (e *Engine) RunUntilKKT(maxIters int, kktTol float64, window int, tol float64) (Snapshot, bool) {
+	if maxIters <= 0 || window <= 0 {
+		return Snapshot{}, false
+	}
+	stable := 0
+	for i := 0; i < maxIters; i++ {
+		e.Step()
+		kktMax, _, _ := e.KKTStats()
+		pr := e.Probe()
+		if kktMax < kktTol && pr.MaxResourceViolation < tol && pr.MaxPathViolationFrac < tol {
+			stable++
+			if stable >= window {
+				e.emit(obs.Event{Kind: obs.EventConverged, Iteration: pr.Iteration, Value: pr.Utility})
+				return e.Snapshot(), true
+			}
+		} else {
+			stable = 0
 		}
 	}
 	return e.Snapshot(), false

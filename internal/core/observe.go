@@ -22,6 +22,11 @@ type obsHandles struct {
 	// lastSparse remembers the cumulative sparse counters at the previous
 	// publication so the monotone lla_sparse_* counters advance by deltas.
 	lastSparse SparseStats
+	// slv carries the price-dynamics metric set; lastFallbacks remembers
+	// the cumulative safeguard-fallback count at the previous publication
+	// (same delta pattern as lastSparse).
+	slv           *obs.SolverMetrics
+	lastFallbacks uint64
 }
 
 // Observe attaches the observability channels to the engine; nil detaches.
@@ -49,6 +54,8 @@ func (e *Engine) Observe(o *obs.Observer) {
 		if e.sparse {
 			h.sm = obs.NewSparseMetrics(o.Metrics)
 		}
+		h.slv = obs.NewSolverMetrics(o.Metrics, string(e.cfg.PriceSolver))
+		h.lastFallbacks = e.SolverFallbacks()
 	}
 	e.obsv = h
 }
@@ -79,6 +86,25 @@ func (e *Engine) publishObs() {
 		h.sm.CleanResources.Add(int64(cur.CleanResources - h.lastSparse.CleanResources))
 		h.sm.RepricedResources.Add(int64(cur.RepricedResources - h.lastSparse.RepricedResources))
 		h.lastSparse = cur
+	}
+
+	if h.slv != nil {
+		h.slv.Rounds.Inc()
+		fb := e.SolverFallbacks()
+		h.slv.Fallbacks.Add(int64(fb - h.lastFallbacks))
+		h.lastFallbacks = fb
+		resid := e.dynDelta
+		if e.dyn == nil {
+			// Gradient paths leave e.mu holding the pre-update snapshot, so
+			// the last round's price movement is recoverable directly.
+			resid = 0
+			for ri, a := range e.agents {
+				if d := math.Abs(a.Mu - e.mu[ri]); d > resid {
+					resid = d
+				}
+			}
+		}
+		h.slv.Residual.Set(resid)
 	}
 
 	if h.em != nil {

@@ -159,6 +159,28 @@ func (p *Problem) NumSubtasks() int {
 	return n
 }
 
+// ResponseSlope returns subtask (ti, si)'s demand response to its resource
+// price, −∂share/∂μ ≥ 0, at the given latency and price. On the
+// stationarity solution (Equation 7) lat − e = sqrt(μ·k/denom) with
+// k = c + l, so share = k/(lat−e) = sqrt(k·denom/μ) and
+// ∂share/∂μ = −share/(2μ) — the closed-form diagonal of the dual Hessian
+// that the DiagonalNewton price dynamics consume as curvature. Bound-active
+// subtasks (and free resources) do not respond: a clamped latency stays
+// clamped under a marginal price move, so their response is zero. The
+// interior test matches the KKT-residual one so curvature and stationarity
+// agree on which subtasks count.
+func (p *Problem) ResponseSlope(ti, si int, latMs, mu float64) float64 {
+	pt := &p.Tasks[ti]
+	if mu <= 0 {
+		return 0
+	}
+	lo, hi := pt.LatMinMs[si], pt.LatMaxMs[si]
+	if latMs <= lo*(1+1e-6) || latMs >= hi*(1-1e-6) {
+		return 0
+	}
+	return pt.Share[si].Share(latMs) / (2 * mu)
+}
+
 // refreshBounds recomputes a subtask's latency bounds after a change to its
 // share function (error correction) or its resource's availability.
 func (p *Problem) refreshBounds(ti, si int) {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"lla/internal/price"
 )
 
@@ -18,18 +16,11 @@ type ResourceAgent struct {
 	// Mu is the current resource price (Lagrange multiplier of the capacity
 	// constraint).
 	Mu float64
-	// step sizes the gradient step, ramping under congestion when the
-	// adaptive policy is configured.
-	step price.StepSizer
-	// baseGamma floors the stability clamp so prices can always rise from
-	// zero at the configured base rate.
-	baseGamma float64
-	// priceScaled (adaptive mode) floors the effective step at Mu/2:
-	// because demand scales as 1/sqrt(mu), a price far from equilibrium
-	// needs steps proportional to itself to move in O(1) iterations. This
-	// keeps the paper's doubling heuristic effective near saturation, where
-	// the congestion margin would otherwise leave only the base step.
-	priceScaled bool
+	// grad is the reference gradient-projection coordinate update: the step
+	// sizer (ramping under congestion when the adaptive policy is
+	// configured), the base-step floor, and the price-scaled step floor of
+	// adaptive mode — see price.GradStep for the arithmetic.
+	grad price.GradStep
 }
 
 // NewResourceAgent builds the agent for resource ri with an initial price.
@@ -37,7 +28,8 @@ type ResourceAgent struct {
 // pressure immediately; the paper's iterations behave equivalently after a
 // few steps regardless of the start.
 func NewResourceAgent(p *Problem, ri int, step price.StepSizer, baseGamma float64, priceScaled bool, initialMu float64) *ResourceAgent {
-	return &ResourceAgent{p: p, ri: ri, Mu: initialMu, step: step, baseGamma: baseGamma, priceScaled: priceScaled}
+	return &ResourceAgent{p: p, ri: ri, Mu: initialMu,
+		grad: price.GradStep{Step: step, BaseGamma: baseGamma, PriceScaled: priceScaled}}
 }
 
 // ShareSum computes the total share demanded on this resource given every
@@ -89,7 +81,9 @@ func (a *ResourceAgent) Congested(shareSum float64) bool {
 // so the price iteration contracts only for gamma < 4·mu/B. Clamping at
 // 2·mu/B (safety factor 2, floored at the base step so the price can rise
 // from zero) lets the paper's multiplicative ramp run while the price is
-// large without destabilizing it near the equilibrium.
+// large without destabilizing it near the equilibrium. The arithmetic lives
+// in price.GradStep — the reference coordinate update the accelerated
+// solvers embed as their safeguard.
 //
 // It reports whether the call moved any agent state — the price or the step
 // sizer's size, compared bitwise. A false return means the update was a
@@ -98,32 +92,19 @@ func (a *ResourceAgent) Congested(shareSum float64) bool {
 // sizer check relies on Gamma() being the sizer's entire observable state,
 // true of both price.Fixed and price.Adaptive).
 func (a *ResourceAgent) UpdatePrice(shareSum float64) bool {
-	g0 := a.step.Gamma()
-	a.step.Observe(a.Congested(shareSum))
-	gamma := a.step.Gamma()
-	changed := gamma != g0
-	avail := a.p.Resources[a.ri].Availability
-	if a.priceScaled && gamma < a.Mu/2 {
-		gamma = a.Mu / 2
-	}
-	if cap := math.Max(a.baseGamma, 2*a.Mu/avail); gamma > cap {
-		gamma = cap
-	}
-	if next := price.UpdateResource(a.Mu, gamma, avail, shareSum); next != a.Mu {
-		a.Mu = next
-		changed = true
-	}
+	next, changed := a.grad.Update(a.Mu, a.p.Resources[a.ri].Availability, shareSum, a.Congested(shareSum))
+	a.Mu = next
 	return changed
 }
 
 // StepGamma returns the step sizer's current step size — the state of the
 // Section 5.2 adaptive controller, recorded per iteration by the
 // observability layer.
-func (a *ResourceAgent) StepGamma() float64 { return a.step.Gamma() }
+func (a *ResourceAgent) StepGamma() float64 { return a.grad.Step.Gamma() }
 
 // ResetPrice restores the initial price and step size; used after structural
 // workload changes.
 func (a *ResourceAgent) ResetPrice(initialMu float64) {
 	a.Mu = initialMu
-	a.step.Reset()
+	a.grad.Reset()
 }

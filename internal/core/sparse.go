@@ -189,6 +189,13 @@ func (e *Engine) invalidateSparse() {
 		e.agentStable[i] = false
 		e.sumValid[i] = false
 	}
+	// Accelerated price dynamics carry iterate history (Anderson's mixing
+	// window); an out-of-band change invalidates it for the same reason it
+	// invalidates the fingerprints — extrapolating across the discontinuity
+	// would be meaningless.
+	if e.dyn != nil {
+		e.dyn.Invalidate()
+	}
 }
 
 // initSparse sizes the incremental-path state for a freshly compiled

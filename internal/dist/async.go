@@ -123,6 +123,7 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 		agent *core.ResourceAgent
 		ep    transport.Endpoint
 		ri    int
+		dyn   *dynStepper
 	}
 
 	var ctls []*ctlNode
@@ -147,6 +148,7 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 			agent: core.NewResourceAgent(p, ri, newStep(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu),
 			ep:    ep,
 			ri:    ri,
+			dyn:   newDynStepper(cfg),
 		})
 	}
 	defer func() {
@@ -222,7 +224,11 @@ func RunAsyncObserved(w *workload.Workload, cfg core.Config, net transport.Netwo
 					ti, si := sub[0], sub[1]
 					sum += p.Tasks[ti].Share[si].Share(lat[sub])
 				}
-				stable = !n.agent.UpdatePrice(sum)
+				if n.dyn != nil {
+					stable = !n.dyn.step(p, n.ri, n.agent, lat, sum)
+				} else {
+					stable = !n.agent.UpdatePrice(sum)
+				}
 				dirty = false
 				if rms != nil {
 					rm := rms[n.ri]

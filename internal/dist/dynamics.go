@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"lla/internal/core"
+	"lla/internal/price"
+)
+
+// Accelerated price dynamics in the distributed runtimes (DESIGN.md §12).
+// Every price.Dynamics implementation is coordinate-separable, so a resource
+// node runs its own 1-coordinate instance: the vector update the engine
+// performs over all resources decomposes into exactly the per-resource
+// updates the nodes perform, and a loss-free synchronous run stays bitwise
+// identical to the engine under every solver — the property the dist tests
+// pin for the reference gradient extends to the accelerated solvers.
+
+// dynStepper drives a 1-coordinate price.Dynamics for one resource node,
+// holding the fixed-size StepInput scratch so the per-round update does not
+// allocate.
+type dynStepper struct {
+	dyn   price.Dynamics
+	mu    [1]float64
+	sum   [1]float64
+	avail [1]float64
+	curv  [1]float64
+	cong  [1]bool
+}
+
+// newDynStepper builds the node-local dynamics for an accelerated config, or
+// nil for the reference gradient solver — nil keeps the agent's built-in
+// UpdatePrice path bit-for-bit untouched, mirroring the engine's dyn == nil
+// fast path.
+func newDynStepper(cfg core.Config) *dynStepper {
+	if !cfg.Accelerated() {
+		return nil
+	}
+	d := &dynStepper{dyn: cfg.NewDynamics()}
+	d.dyn.Reset(1)
+	return d
+}
+
+// step advances the agent's price one round through the accelerated
+// dynamics. The curvature (when the solver needs it) is summed over the
+// resource's subtasks in compiled Subs order from the freshest reported
+// latencies — the same serial order and inputs as Engine.curvatureInto, which
+// is what keeps the trajectories bitwise identical. It reports whether any
+// observable solver state moved, the fixed-point signal the async sparse
+// path uses.
+func (d *dynStepper) step(p *core.Problem, ri int, agent *core.ResourceAgent, lat map[[2]int]float64, sum float64) bool {
+	r := &p.Resources[ri]
+	d.mu[0] = agent.Mu
+	d.sum[0] = sum
+	d.avail[0] = r.Availability
+	d.cong[0] = agent.Congested(sum)
+	if d.dyn.NeedsCurvature() {
+		c := 0.0
+		for _, sub := range r.Subs {
+			c += p.ResponseSlope(sub[0], sub[1], lat[sub], agent.Mu)
+		}
+		d.curv[0] = c
+	}
+	changed := d.dyn.Step(price.StepInput{
+		Mu:        d.mu[:],
+		ShareSums: d.sum[:],
+		Avail:     d.avail[:],
+		Congested: d.cong[:],
+		Curvature: d.curv[:],
+	})
+	agent.Mu = d.mu[0]
+	return changed
+}
+
+// fallbacks returns the cumulative safeguard-fallback count.
+func (d *dynStepper) fallbacks() uint64 { return d.dyn.Fallbacks() }

@@ -50,6 +50,9 @@ type resourceNode struct {
 	// delta enables the delta codec (messages.go): broadcasts whose payload
 	// is bitwise unchanged from the previous round go out as markers.
 	delta bool
+	// dyn, when non-nil, replaces the agent's built-in gradient step with
+	// the configured accelerated price dynamics (dynamics.go).
+	dyn *dynStepper
 	// lastPrice caches the latest full broadcast for retransmission and
 	// stale recovery — recovery always re-sends by value, never a marker.
 	lastPrice priceMsg
@@ -260,13 +263,18 @@ func (n *resourceNode) run(maxRounds int) error {
 			continue // round incomplete
 		}
 
-		// Round complete: price computation (Equation 8).
+		// Round complete: price computation (Equation 8, or the configured
+		// accelerated dynamics).
 		sum := 0.0
 		for _, sub := range n.p.Resources[n.ri].Subs {
 			ti, si := sub[0], sub[1]
 			sum += n.p.Tasks[ti].Share[si].Share(n.lat[sub])
 		}
-		n.agent.UpdatePrice(sum)
+		if n.dyn != nil {
+			n.dyn.step(n.p, n.ri, n.agent, n.lat, sum)
+		} else {
+			n.agent.UpdatePrice(sum)
+		}
 		n.liveMu.Set(n.agent.Mu)
 		if n.rm != nil {
 			avail := n.p.Resources[n.ri].Availability

@@ -73,7 +73,9 @@ func New(w *workload.Workload, cfg core.Config, net transport.Network) (*Runtime
 		}
 		agent := core.NewResourceAgent(p, ri, newStep(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu)
 		r.agents = append(r.agents, agent)
-		r.resNodes = append(r.resNodes, newResourceNode(p, ri, agent, ep))
+		node := newResourceNode(p, ri, agent, ep)
+		node.dyn = newDynStepper(cfg)
+		r.resNodes = append(r.resNodes, node)
 	}
 	return r, nil
 }
@@ -169,6 +171,10 @@ type Result struct {
 	// LeaseExpirations counts coordinator-observed report leases expiring: a
 	// controller stayed silent longer than FaultPolicy.LeaseAfter.
 	LeaseExpirations int64
+	// SolverFallbacks totals the accelerated price solvers' safeguard
+	// fallbacks to the reference gradient step across all resource nodes
+	// (0 under the reference gradient solver).
+	SolverFallbacks uint64
 	// Admissions records every admission query the coordinator answered
 	// during the run, in arrival order (see admission.go).
 	Admissions []AdmissionDecision
@@ -336,6 +342,9 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 		res.RejectedStale += n.rejectedStale
 		res.DeltaSuppressed += n.deltaSuppressed
 		res.DeltaBytesSaved += n.deltaBytesSaved
+		if n.dyn != nil {
+			res.SolverFallbacks += n.dyn.fallbacks()
+		}
 	}
 	return res, nil
 }

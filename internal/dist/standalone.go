@@ -55,6 +55,7 @@ func RunResourceObserved(ctx context.Context, w *workload.Workload, cfg core.Con
 	defer ep.Close()
 	agent := core.NewResourceAgent(p, ri, cfg.NewStepSizer(), cfg.Step.Gamma, cfg.Step.Adaptive, cfg.InitialMu)
 	node := newResourceNode(p, ri, agent, ep)
+	node.dyn = newDynStepper(cfg)
 	node.fp, node.stop = DefaultFaultPolicy(), ctx.Done()
 	node.delta = cfg.Sparse != core.SparseOff
 	if o != nil && o.Metrics != nil {

@@ -58,10 +58,13 @@ type churnPolicyRun struct {
 	violations int // events after which the live system was infeasible
 	events     int
 	sumReconv  int
-	utility    *stats.Series
-	reconv     *stats.Series
-	finalUtil  float64
-	resident   int
+	// warmupRounds is how many rounds the substrate engine took to converge
+	// before the trace replay began (-1 = budget exhausted).
+	warmupRounds int
+	utility      *stats.Series
+	reconv       *stats.Series
+	finalUtil    float64
+	resident     int
 }
 
 // replayChurn drives one controller through the trace. Every event is
@@ -75,7 +78,7 @@ func replayChurn(opts Options, trace []workload.ChurnEvent, cfg admit.Config, la
 	}
 	defer eng.Close()
 	opts.attach(eng)
-	eng.RunUntilConverged(3000, 1e-7, 20, 1e-3)
+	warmSnap, warmOK := eng.RunUntilConverged(3000, 1e-7, 20, 1e-3)
 
 	ctrl := admit.New(eng, cfg)
 	ctrl.UsePlacer(admit.NewPlacer(admit.PlacerConfig{}))
@@ -84,10 +87,14 @@ func replayChurn(opts Options, trace []workload.ChurnEvent, cfg admit.Config, la
 	}
 
 	run := &churnPolicyRun{
-		label:    label,
-		rejected: make(map[string]int),
-		utility:  stats.NewSeries("utility-" + label),
-		reconv:   stats.NewSeries("reconverge-" + label),
+		label:        label,
+		rejected:     make(map[string]int),
+		utility:      stats.NewSeries("utility-" + label),
+		reconv:       stats.NewSeries("reconverge-" + label),
+		warmupRounds: -1,
+	}
+	if warmOK {
+		run.warmupRounds = warmSnap.Iteration
 	}
 	const tol = 1e-3
 	for _, ev := range trace {
@@ -184,6 +191,7 @@ func Churn(opts Options) (*Result, error) {
 		ID:    "churn",
 		Title: fmt.Sprintf("Admission control under churn (seed %d, %d events over %.0f ms)", seed, len(trace), horizon),
 	}
+	res.RoundsToConverge = gated.warmupRounds
 	summary := &Table{
 		Title: "Policy comparison over one trace",
 		Header: []string{"policy", "offered", "admitted", "rej static", "rej price",

@@ -12,6 +12,7 @@ import (
 
 	"lla/internal/core"
 	"lla/internal/obs"
+	"lla/internal/price"
 	"lla/internal/stats"
 )
 
@@ -91,12 +92,21 @@ type Result struct {
 	Series []*stats.Series
 	// Notes records comparison findings (paper vs measured).
 	Notes []string
+	// RoundsToConverge records how many optimizer rounds the experiment's
+	// reference engine took to meet its convergence criterion (0 = the
+	// experiment does not measure convergence, -1 = it did not converge
+	// within budget). Each round is one full price round, so under the
+	// distributed runtime this is the broadcast-round count.
+	RoundsToConverge int
 }
 
 // Render returns the full text report of the experiment.
 func (r *Result) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	if r.RoundsToConverge != 0 {
+		fmt.Fprintf(&b, "rounds_to_converge: %d\n\n", r.RoundsToConverge)
+	}
 	for _, t := range r.Tables {
 		b.WriteString(t.Render())
 		b.WriteByte('\n')
@@ -143,6 +153,13 @@ type Options struct {
 	// sweep). The two paths are bitwise identical, so the artifacts do not
 	// depend on the setting — only wall-clock time does.
 	Sparse core.SparseMode
+	// Solver selects the resource-price dynamics ("" = the reference
+	// gradient projection). Unlike Workers/Sparse this DOES change the
+	// artifacts: accelerated solvers follow a different price trajectory to
+	// the same fixed point, so iteration-indexed series and
+	// rounds-to-converge counts shift. The solvers experiment ignores it (it
+	// sweeps all solvers itself).
+	Solver price.Solver
 	// Observer, when non-nil, is attached to every engine an experiment
 	// creates, so a run streams per-iteration telemetry (KKT residuals,
 	// prices, utilities — see internal/obs) without changing the artifacts:
@@ -161,7 +178,7 @@ func (o Options) attach(e *core.Engine) { e.Observe(o.Observer) }
 // sweep additional knobs (step sizers, weight modes) amend the returned
 // value before handing it to core.NewEngine.
 func (o Options) engineConfig() core.Config {
-	return core.Config{Workers: o.Workers, Sparse: o.Sparse}
+	return core.Config{Workers: o.Workers, Sparse: o.Sparse, PriceSolver: o.Solver}
 }
 
 // f1, f2, f3 are numeric cell formatters.

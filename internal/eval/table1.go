@@ -29,6 +29,10 @@ func Table1(opts Options) (*Result, error) {
 		ID:    "table1",
 		Title: "Task parameters and optimization results (base 3-task workload)",
 	}
+	res.RoundsToConverge = -1
+	if converged {
+		res.RoundsToConverge = snap.Iteration
+	}
 
 	lat := &Table{
 		Title:  "Per-subtask optimal latencies (ms)",

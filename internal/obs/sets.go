@@ -87,6 +87,32 @@ func NewSparseMetrics(r *Registry) *SparseMetrics {
 	}
 }
 
+// SolverMetrics is the price-dynamics metric set (DESIGN.md §12), labelled
+// by solver name: how many price rounds the configured solver has taken,
+// how often an accelerated solver's safeguard fell back to the reference
+// gradient step, and the residual trajectory (the largest per-round price
+// movement), whose decay toward zero is the live convergence signal.
+type SolverMetrics struct {
+	// Rounds counts price-update rounds taken by the solver.
+	Rounds *Counter
+	// Fallbacks counts safeguard fallbacks to the reference gradient step
+	// (Anderson's rejected extrapolations, Newton's degenerate-curvature
+	// coordinates); always zero for the reference solver.
+	Fallbacks *Counter
+	// Residual is the largest |Δμ| any resource moved in the last round.
+	Residual *Gauge
+}
+
+// NewSolverMetrics registers the price-dynamics metric set for the named
+// solver on r.
+func NewSolverMetrics(r *Registry, solver string) *SolverMetrics {
+	return &SolverMetrics{
+		Rounds:    r.Counter("lla_solver_rounds_total", "Price-update rounds taken, by solver.", "solver", solver),
+		Fallbacks: r.Counter("lla_solver_fallbacks_total", "Safeguard fallbacks to the reference gradient step.", "solver", solver),
+		Residual:  r.Gauge("lla_solver_residual_max", "Largest per-resource price movement |dmu| of the last round.", "solver", solver),
+	}
+}
+
 // AdmitMetrics is the admission controller's standard metric set — the live
 // counterpart of its returned decision log (the internal/admit tests assert
 // the two agree exactly).

@@ -40,6 +40,7 @@ import (
 	"lla/internal/dist"
 	"lla/internal/errcorr"
 	"lla/internal/obs"
+	"lla/internal/price"
 	"lla/internal/share"
 	"lla/internal/sim"
 	"lla/internal/task"
@@ -155,6 +156,36 @@ const (
 // SparseStats aggregates the active-set path's skip counters, as
 // Engine.SparseStats returns.
 type SparseStats = core.SparseStats
+
+// PriceSolver selects the resource-price dynamics for Config.PriceSolver
+// (DESIGN.md §12): the reference gradient projection, or an accelerated
+// second-order solver that reaches the same fixed point in far fewer
+// rounds. Every solver keeps the engine ≡ distributed-runtime bitwise
+// equivalence and the zero-allocation steady-state step.
+type PriceSolver = price.Solver
+
+// Price solvers for Config.PriceSolver.
+const (
+	// SolverGradient is the paper's gradient projection with the Section
+	// 5.2 congestion-doubling heuristic — the reference dynamics (default).
+	SolverGradient = price.SolverGradient
+	// SolverNewton is diagonal Newton in log-price coordinates, scaled by
+	// the closed-form demand-response curvature (~10x fewer rounds).
+	SolverNewton = price.SolverNewton
+	// SolverAnderson is safeguarded coordinate-wise Anderson acceleration
+	// over the reference gradient map.
+	SolverAnderson = price.SolverAnderson
+	// SolverPriceDiscovery is the multiplicative tatonnement update of
+	// Agrawal & Boyd's price-discovery method.
+	SolverPriceDiscovery = price.SolverPriceDiscovery
+)
+
+// ParsePriceSolver resolves a flag or config string ("" = gradient) to a
+// PriceSolver, rejecting unknown names.
+var ParsePriceSolver = price.ParseSolver
+
+// PriceSolvers lists every implemented solver, reference first.
+var PriceSolvers = price.Solvers
 
 // Snapshot is the optimizer's observable state after an iteration. Engines
 // also offer SnapshotInto (refill a reusable snapshot without allocating)

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the core optimizer benchmarks and writes BENCH_core.json (parsed via
 # scripts/benchparse), failing if the sparse converged-step path is not
-# faster than the dense one.
+# faster than the dense one or an accelerated price solver needs more
+# rounds-to-converge than the reference gradient.
 #
 #   scripts/bench.sh [output.json]
 #   BENCHTIME=200ms scripts/bench.sh     # quicker smoke run (CI)
@@ -12,6 +13,13 @@ out="${1:-BENCH_core.json}"
 benchtime="${BENCHTIME:-1s}"
 
 go test -run '^$' \
-  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$' \
+  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge' \
   -benchtime "$benchtime" -json . \
   | go run ./scripts/benchparse -o "$out" -check
+
+# benchparse exits non-zero on empty input, but guard the artifact too: a
+# truncated or missing report must never be committed as a baseline.
+if [[ ! -s "$out" ]]; then
+  echo "bench.sh: $out is missing or empty — the benchmark run produced no parsable output" >&2
+  exit 1
+fi

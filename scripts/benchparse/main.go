@@ -72,6 +72,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "benchparse: check passed: converged-step sparse < dense")
+		if err := checkAcceleratedRounds(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -169,4 +173,68 @@ func checkSparseFaster(recs []record) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchparse: converged step: dense %.1f ns/op, sparse %.1f ns/op (%.2fx)\n", d, s, d/s)
 	return nil
+}
+
+// checkAcceleratedRounds enforces the price-dynamics regression gate: every
+// accelerated solver's rounds-to-converge (BenchmarkRoundsToConverge/<solver>)
+// must not exceed the reference gradient's. Absent rounds benchmarks skip the
+// gate (narrower runs stay usable); a sweep that has accelerated records but
+// no gradient baseline is an error.
+func checkAcceleratedRounds(recs []record) error {
+	const prefix = "BenchmarkRoundsToConverge/"
+	gradient := -1.0
+	accel := make(map[string]float64)
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		name := trimCPUSuffix(strings.TrimPrefix(r.Name, prefix))
+		rounds, ok := r.Metrics["rounds"]
+		if !ok {
+			return fmt.Errorf("%s reported no rounds metric", r.Name)
+		}
+		if name == "gradient" {
+			gradient = rounds
+		} else {
+			accel[name] = rounds
+		}
+	}
+	if gradient < 0 && len(accel) == 0 {
+		return nil
+	}
+	if gradient < 0 {
+		return fmt.Errorf("rounds benchmarks present but the gradient baseline is missing")
+	}
+	names := make([]string, 0, len(accel))
+	for name := range accel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if accel[name] > gradient {
+			return fmt.Errorf("accelerated solver %s needs %.0f rounds to converge, more than gradient's %.0f",
+				name, accel[name], gradient)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: check passed: accelerated rounds <= gradient (%.0f)\n", gradient)
+	return nil
+}
+
+// trimCPUSuffix strips go test's -GOMAXPROCS sub-benchmark suffix (the
+// solver name itself may contain dashes, so only a trailing all-digit
+// segment is removed).
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
 }
