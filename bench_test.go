@@ -26,6 +26,7 @@ import (
 	"lla/internal/core"
 	"lla/internal/eval"
 	"lla/internal/price"
+	rec "lla/internal/recover"
 	"lla/internal/sim"
 	"lla/internal/task"
 	"lla/internal/transport"
@@ -506,6 +507,78 @@ func BenchmarkRoundsToConverge(b *testing.B) {
 			b.ReportMetric(fallbacks, "fallbacks")
 		})
 	}
+}
+
+// BenchmarkRecoveryRounds measures crash-recovery cost as optimizer rounds
+// to KKT stationarity (the same criterion as BenchmarkRoundsToConverge, so
+// no convergence-window floor skews the comparison): "cold" re-converges a
+// fresh engine from scratch, "warm" restores the on-converged checkpoint
+// through the full durable path (encode, WAL write, Latest, decode, Restore)
+// and re-converges from there. scripts/benchparse gates warm < cold — the
+// checkpoint subsystem's whole value is that a restart never pays the cold
+// price.
+func BenchmarkRecoveryRounds(b *testing.B) {
+	makeWorkload := func() *workload.Workload {
+		w, err := workload.Replicate(workload.Base(), 4, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return w
+	}
+	b.Run("cold", func(b *testing.B) {
+		var rounds float64
+		for i := 0; i < b.N; i++ {
+			e, err := core.NewEngine(makeWorkload(), core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap, ok := e.RunUntilKKT(4000, 1e-9, 3, 1e-6)
+			if !ok {
+				b.Fatal("cold run did not reach KKT stationarity")
+			}
+			rounds = float64(snap.Iteration)
+			e.Close()
+		}
+		b.ReportMetric(rounds, "rounds")
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		w, err := rec.NewWriter(dir, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := core.NewEngine(makeWorkload(), core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		if _, ok := e.RunUntilKKT(4000, 1e-9, 3, 1e-6); !ok {
+			b.Fatal("reference run did not reach KKT stationarity")
+		}
+		if _, err := w.Save(rec.Capture(e, rec.CaptureOptions{Converged: true})); err != nil {
+			b.Fatal(err)
+		}
+		var rounds float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp, _, err := rec.Latest(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			restored, err := rec.Restore(cp, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pre := restored.Probe().Iteration
+			snap, ok := restored.RunUntilKKT(4000, 1e-9, 3, 1e-6)
+			if !ok {
+				b.Fatal("warm restore did not reach KKT stationarity")
+			}
+			rounds = float64(snap.Iteration - pre)
+			restored.Close()
+		}
+		b.ReportMetric(rounds, "rounds")
+	})
 }
 
 // BenchmarkDistributedRounds measures distributed rounds per second over

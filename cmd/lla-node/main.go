@@ -33,6 +33,7 @@ import (
 	"lla/internal/dist"
 	"lla/internal/obs"
 	"lla/internal/price"
+	rec "lla/internal/recover"
 	"lla/internal/transport"
 	"lla/internal/workload"
 )
@@ -49,23 +50,55 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string) error {
+// nodeFlags holds every lla-node flag value. newFlagSet is the single place
+// flags are declared, so the help test can assert the complete set.
+type nodeFlags struct {
+	workloadArg, registryPath, role, id, debugAddr, tracePath, solver, checkpointDir *string
+	demo, printRegistry, sparse                                                     *bool
+	rounds, workers, checkpointEvery                                                *int
+}
+
+// newFlagSet declares the full lla-node flag set.
+func newFlagSet() (*flag.FlagSet, *nodeFlags) {
 	fs := flag.NewFlagSet("lla-node", flag.ContinueOnError)
-	workloadArg := fs.String("workload", "base", `workload: "base", "prototype", or a JSON file path`)
-	registryPath := fs.String("registry", "", "JSON file mapping logical node names to host:port")
-	role := fs.String("role", "", `node role: "resource" or "controller"`)
-	id := fs.String("id", "", "resource ID or task name this node hosts")
-	rounds := fs.Int("rounds", 500, "number of synchronous optimization rounds")
-	demo := fs.Bool("demo", false, "run the entire deployment in-process over TCP loopback")
-	printRegistry := fs.Bool("print-registry", false, "print a template registry for the workload and exit")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:8080)")
-	tracePath := fs.String("trace", "", "append JSONL trace events to this file")
-	workers := fs.Int("workers", 0, "optimizer worker shards for engine-backed computation in this process: 0 = GOMAXPROCS, 1 = serial (results are bitwise-identical either way)")
-	sparse := fs.Bool("sparse", true, "delta-encode unchanged price broadcasts and share reports (bitwise identical to the dense protocol)")
-	solver := fs.String("solver", "", "price dynamics: gradient (default), newton, anderson, price-discovery — every node of a deployment must use the same setting")
+	f := &nodeFlags{
+		workloadArg:   fs.String("workload", "base", `workload: "base", "prototype", or a JSON file path`),
+		registryPath:  fs.String("registry", "", "JSON file mapping logical node names to host:port"),
+		role:          fs.String("role", "", `node role: "resource" or "controller"`),
+		id:            fs.String("id", "", "resource ID or task name this node hosts"),
+		rounds:        fs.Int("rounds", 500, "number of synchronous optimization rounds"),
+		demo:          fs.Bool("demo", false, "run the entire deployment in-process over TCP loopback"),
+		printRegistry: fs.Bool("print-registry", false, "print a template registry for the workload and exit"),
+		debugAddr:     fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:8080)"),
+		tracePath:     fs.String("trace", "", "append JSONL trace events to this file"),
+		workers:       fs.Int("workers", 0, "optimizer worker shards for engine-backed computation in this process: 0 = GOMAXPROCS, 1 = serial (results are bitwise-identical either way)"),
+		sparse:        fs.Bool("sparse", true, "delta-encode unchanged price broadcasts and share reports (bitwise identical to the dense protocol)"),
+		solver:        fs.String("solver", "", "price dynamics: gradient (default), newton, anderson, price-discovery — every node of a deployment must use the same setting"),
+		checkpointDir: fs.String("checkpoint-dir", "",
+			"demo mode: persist crash-safe checkpoints of the deployment's optimizer state here; the coordinator epoch resumes from the newest one"),
+		checkpointEvery: fs.Int("checkpoint-every", 0,
+			"demo mode: rounds between periodic checkpoint saves (0 = a default period)"),
+	}
+	return fs, f
+}
+
+func run(ctx context.Context, args []string) error {
+	fs, f := newFlagSet()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	workloadArg := f.workloadArg
+	registryPath := f.registryPath
+	role := f.role
+	id := f.id
+	rounds := f.rounds
+	demo := f.demo
+	printRegistry := f.printRegistry
+	debugAddr := f.debugAddr
+	tracePath := f.tracePath
+	workers := f.workers
+	sparse := f.sparse
+	solver := f.solver
 	sol, err := price.ParseSolver(*solver)
 	if err != nil {
 		return err
@@ -100,7 +133,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	if *demo {
-		return runDemo(ctx, w, cfg, *rounds, o)
+		return runDemo(ctx, w, cfg, *rounds, o, *f.checkpointDir, *f.checkpointEvery)
 	}
 
 	if *registryPath == "" {
@@ -208,8 +241,13 @@ func buildObserver(debugAddr, tracePath string) (*obs.Observer, func(), error) {
 	}, nil
 }
 
-// runDemo hosts the full deployment in one process over TCP loopback.
-func runDemo(ctx context.Context, w *workload.Workload, cfg core.Config, rounds int, o *obs.Observer) error {
+// runDemo hosts the full deployment in one process over TCP loopback. With a
+// checkpoint directory, the coordinator seeds its epoch from the newest
+// checkpoint there, and the run's optimizer state is persisted into it —
+// periodically and at the end — via a serial mirror engine (the protocol is
+// bitwise-identical to the engine, so the mirror's state IS the
+// deployment's).
+func runDemo(ctx context.Context, w *workload.Workload, cfg core.Config, rounds int, o *obs.Observer, ckptDir string, ckptEvery int) error {
 	registry := make(map[string]string)
 	for _, addr := range dist.Addresses(w) {
 		registry[addr] = "127.0.0.1:0"
@@ -233,11 +271,25 @@ func runDemo(ctx context.Context, w *workload.Workload, cfg core.Config, rounds 
 	}()
 	fmt.Fprintf(os.Stderr, "demo: %d tasks, %d resources, %d rounds over TCP loopback\n",
 		len(w.Tasks), len(w.Resources), rounds)
-	res, err := rt.RunUntilConverged(rounds, 1e-7, 20)
+	var res *dist.Result
+	if ckptDir != "" {
+		// The failover runner is the plain run loop plus epoch seeding from
+		// the checkpoint directory (no crashes are scheduled here).
+		res, err = rt.RunWithFailover(rounds, dist.FailoverPlan{
+			CheckpointDir: ckptDir, RelTol: 1e-7, Window: 20,
+		})
+	} else {
+		res, err = rt.RunUntilConverged(rounds, 1e-7, 20)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("converged=%v rounds=%d utility=%.3f\n", res.Converged, res.Rounds, res.Utility)
+	if ckptDir != "" {
+		if err := checkpointDemo(w, cfg, ckptDir, ckptEvery, res); err != nil {
+			return err
+		}
+	}
 	for ti, t := range w.Tasks {
 		fmt.Printf("task %s:", t.Name)
 		for si, s := range t.Subtasks {
@@ -245,5 +297,41 @@ func runDemo(ctx context.Context, w *workload.Workload, cfg core.Config, rounds 
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// checkpointDemo persists the demo run's optimizer state: a serial mirror
+// engine replays the deployment's (bitwise-identical) trajectory up to the
+// emitted-round count, saving a generation every ckptEvery rounds and a final
+// one stamped with the coordinator epoch.
+func checkpointDemo(w *workload.Workload, cfg core.Config, dir string, every int, res *dist.Result) error {
+	wr, err := rec.NewWriter(dir, 0)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(w, cfg)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if every <= 0 {
+		every = 50
+	}
+	for done := 0; done < res.Rounds; {
+		n := every
+		if done+n > res.Rounds {
+			n = res.Rounds - done
+		}
+		eng.Run(n, nil)
+		done += n
+		_, err := wr.Save(rec.Capture(eng, rec.CaptureOptions{
+			Epoch:     res.Epoch,
+			Converged: res.Converged && done == res.Rounds,
+		}))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "checkpointed %d generations into %s (epoch %d)\n", wr.Saves(), dir, res.Epoch)
 	return nil
 }

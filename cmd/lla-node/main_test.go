@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	rec "lla/internal/recover"
 )
 
 func TestRunBadInputs(t *testing.T) {
@@ -20,6 +24,95 @@ func TestRunBadInputs(t *testing.T) {
 		if err := run(context.Background(), args); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
+	}
+}
+
+// TestHelpListsEveryFlag pins the flag set both ways: every expected flag is
+// declared with usage text that renders into the help output, and no flag can
+// be added without being listed here (forcing its documentation).
+func TestHelpListsEveryFlag(t *testing.T) {
+	want := map[string]bool{
+		"workload": true, "registry": true, "role": true, "id": true,
+		"rounds": true, "demo": true, "print-registry": true,
+		"debug-addr": true, "trace": true, "workers": true, "sparse": true,
+		"solver": true, "checkpoint-dir": true, "checkpoint-every": true,
+	}
+	fs, _ := newFlagSet()
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+	help := buf.String()
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage text", f.Name)
+		}
+		if !strings.Contains(help, "-"+f.Name) {
+			t.Errorf("help output does not list -%s:\n%s", f.Name, help)
+		}
+	})
+	for name := range want {
+		if !got[name] {
+			t.Errorf("expected flag -%s is not declared", name)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("flag -%s is declared but not in the expected list — document it here", name)
+		}
+	}
+}
+
+// TestDemoCheckpoints runs the loopback demo with a checkpoint directory: the
+// run must leave decodable checkpoint generations behind, and a second demo
+// over the same directory must resume the persisted coordinator epoch.
+func TestDemoCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demo spins up a full TCP deployment")
+	}
+	dir := t.TempDir()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	args := []string{"-workload", "prototype", "-demo", "-rounds", "200",
+		"-checkpoint-dir", dir, "-checkpoint-every", "40"}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatalf("demo with checkpoints: %v", err)
+	}
+	cp, _, err := rec.Latest(dir)
+	if err != nil {
+		t.Fatalf("demo left no decodable checkpoint: %v", err)
+	}
+	if cp.Workload == nil || len(cp.Workload.Tasks) == 0 {
+		t.Error("checkpoint carries no workload")
+	}
+	if cp.Engine.Iteration == 0 {
+		t.Error("checkpoint carries no optimizer progress")
+	}
+	// Seed the directory with a bumped epoch: the next demo must pick it up.
+	wr, err := rec.NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Epoch = 4
+	if _, err := wr.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatalf("second demo over reused checkpoint dir: %v", err)
+	}
+	cp2, _, err := rec.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Epoch != 4 {
+		t.Errorf("final checkpoint epoch = %d, want the resumed 4", cp2.Epoch)
 	}
 }
 

@@ -56,6 +56,7 @@ var experiments = []struct {
 	{"adaptation", eval.Adaptation},
 	{"churn", eval.Churn},
 	{"solvers", eval.Solvers},
+	{"soak", eval.Soak},
 }
 
 // experimentIDs lists every registered experiment id, in run order.
@@ -74,22 +75,55 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// simFlags holds every lla-sim flag value. newFlagSet is the single place
+// flags are declared, so the help test can assert the complete set.
+type simFlags struct {
+	experiment, solver, csvDir, tracePath, debugAddr, checkpointDir *string
+	quick, sparse                                                  *bool
+	seed                                                           *int64
+	workers, sampleEvery, checkpointEvery                          *int
+}
+
+// newFlagSet declares the full lla-sim flag set.
+func newFlagSet() (*flag.FlagSet, *simFlags) {
 	fs := flag.NewFlagSet("lla-sim", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all",
-		"experiment: "+strings.Join(experimentIDs(), ", ")+", all")
-	quick := fs.Bool("quick", false, "shrink iteration budgets (smoke test)")
-	seed := fs.Int64("seed", 1, "simulation seed (fig8)")
-	workers := fs.Int("workers", 0, "optimizer shards per iteration: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
-	sparse := fs.Bool("sparse", true, "incremental active-set iteration: skip converged controllers and clean resources (bitwise identical to the dense path)")
-	solver := fs.String("solver", "", "price dynamics: gradient (default), newton, anderson, price-discovery — accelerated solvers reach the same fixed point in fewer rounds")
-	csvDir := fs.String("csv", "", "directory to write full series CSVs into")
-	tracePath := fs.String("trace", "", "append per-iteration JSONL telemetry (samples + events) to this file")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
-	sampleEvery := fs.Int("trace-every", 1, "record every Nth iteration in the trace (1 = all)")
+	f := &simFlags{
+		experiment: fs.String("experiment", "all",
+			"experiment: "+strings.Join(experimentIDs(), ", ")+", all"),
+		quick:   fs.Bool("quick", false, "shrink iteration budgets (smoke test)"),
+		seed:    fs.Int64("seed", 1, "simulation seed (fig8, soak)"),
+		workers: fs.Int("workers", 0, "optimizer shards per iteration: 0 = GOMAXPROCS, 1 = serial (results are identical either way)"),
+		sparse:  fs.Bool("sparse", true, "incremental active-set iteration: skip converged controllers and clean resources (bitwise identical to the dense path)"),
+		solver:  fs.String("solver", "", "price dynamics: gradient (default), newton, anderson, price-discovery — accelerated solvers reach the same fixed point in fewer rounds"),
+		csvDir:  fs.String("csv", "", "directory to write full series CSVs into"),
+		tracePath: fs.String("trace", "",
+			"append per-iteration JSONL telemetry (samples + events) to this file"),
+		debugAddr: fs.String("debug-addr", "",
+			"serve /metrics, /debug/vars and /debug/pprof on this address while experiments run"),
+		sampleEvery: fs.Int("trace-every", 1, "record every Nth iteration in the trace (1 = all)"),
+		checkpointDir: fs.String("checkpoint-dir", "",
+			"directory for crash-safe checkpoints in experiments that write them (soak); empty = a per-run temp dir"),
+		checkpointEvery: fs.Int("checkpoint-every", 0,
+			"churn events between periodic checkpoint saves (0 = experiment default)"),
+	}
+	return fs, f
+}
+
+func run(args []string) error {
+	fs, f := newFlagSet()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiment := f.experiment
+	quick := f.quick
+	seed := f.seed
+	workers := f.workers
+	sparse := f.sparse
+	solver := f.solver
+	csvDir := f.csvDir
+	tracePath := f.tracePath
+	debugAddr := f.debugAddr
+	sampleEvery := f.sampleEvery
 
 	var o *obs.Observer
 	if *tracePath != "" || *debugAddr != "" {
@@ -137,7 +171,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o, Sparse: sparseMode(*sparse), Solver: sol}
+	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o, Sparse: sparseMode(*sparse), Solver: sol,
+		CheckpointDir: *f.checkpointDir, CheckpointEvery: *f.checkpointEvery}
 	for _, name := range selected {
 		res, err := runners[name](opts)
 		if err != nil {

@@ -36,6 +36,43 @@ func TestHelpListsEveryExperiment(t *testing.T) {
 	}
 }
 
+// TestHelpListsEveryFlag pins the flag set both ways: every expected flag is
+// declared with usage text that renders into the help output, and no flag can
+// be added without being listed here (forcing its documentation).
+func TestHelpListsEveryFlag(t *testing.T) {
+	want := map[string]bool{
+		"experiment": true, "quick": true, "seed": true, "workers": true,
+		"sparse": true, "solver": true, "csv": true, "trace": true,
+		"debug-addr": true, "trace-every": true,
+		"checkpoint-dir": true, "checkpoint-every": true,
+	}
+	fs, _ := newFlagSet()
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+	help := buf.String()
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage text", f.Name)
+		}
+		if !strings.Contains(help, "-"+f.Name) {
+			t.Errorf("help output does not list -%s:\n%s", f.Name, help)
+		}
+	})
+	for name := range want {
+		if !got[name] {
+			t.Errorf("expected flag -%s is not declared", name)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("flag -%s is declared but not in the expected list — document it here", name)
+		}
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag should fail")

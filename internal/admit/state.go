@@ -1,0 +1,50 @@
+package admit
+
+import "sort"
+
+// Checkpoint support (DESIGN.md §13). Admission decisions are event-counted:
+// the quarantine clocks are offsets on the controller's event counter, not
+// wall time, so the pair (event counter, quarantine entries) is the complete
+// replayable state — a restored controller makes the same decisions the
+// uninterrupted one would, given the same engine state and offer sequence.
+// The decision log is telemetry, not state, and is not checkpointed.
+
+// QuarantineEntry is one quarantined task name's backoff state.
+type QuarantineEntry struct {
+	// Name is the quarantined task name.
+	Name string
+	// Strikes counts consecutive rejections.
+	Strikes int
+	// Until is the first event at which a retry is considered again.
+	Until int
+}
+
+// State is the serializable snapshot of a Controller. Entries are sorted by
+// name so the encoding is deterministic.
+type State struct {
+	// Event is the controller's event counter.
+	Event int
+	// Quarantine lists the active backoff entries.
+	Quarantine []QuarantineEntry
+}
+
+// State captures the controller's event counter and quarantine clocks.
+func (c *Controller) State() State {
+	st := State{Event: c.event}
+	for name, q := range c.quarantine {
+		st.Quarantine = append(st.Quarantine, QuarantineEntry{Name: name, Strikes: q.strikes, Until: q.until})
+	}
+	sort.Slice(st.Quarantine, func(i, j int) bool { return st.Quarantine[i].Name < st.Quarantine[j].Name })
+	return st
+}
+
+// RestoreState replaces the controller's event counter and quarantine map
+// with a captured snapshot. The decision log is left as-is (it restarts
+// empty on a fresh controller).
+func (c *Controller) RestoreState(st State) {
+	c.event = st.Event
+	c.quarantine = make(map[string]*quarEntry, len(st.Quarantine))
+	for _, q := range st.Quarantine {
+		c.quarantine[q.Name] = &quarEntry{strikes: q.Strikes, until: q.Until}
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"lla/internal/price"
+)
+
+// Engine checkpointing (DESIGN.md §13). EngineState is the complete
+// serializable dual state of a running engine: everything that influences
+// the trajectory of future Steps. Restoring it into a freshly built engine
+// over the same compiled problem and config resumes the run bitwise — every
+// subsequent Snapshot is byte-identical to the uninterrupted run's, under
+// every Workers count and every price solver.
+//
+// What is deliberately NOT captured, because Step reconstructs it from the
+// captured state before reading it: the per-Step price snapshot e.mu
+// (re-read from the agents at the top of every Step), the controllers'
+// latPrev change-detection scratch (overwritten on entry to
+// AllocateLatencies), the Dynamics avail/curvature scratch (refilled each
+// resource phase), and the shares scratch rows — each row always equals
+// Share(current LatMs) (rows are rewritten whenever latencies move), so
+// RestoreState recomputes them from the restored latencies bit-for-bit.
+
+// EngineState is a deep-copied checkpoint of an Engine's optimizer state.
+// Slices indexed per task hold one inner slice per compiled task, in
+// compiled order; per-resource slices follow Problem.Resources order; the
+// fingerprint slices follow the CSR incidence layout, which is rebuilt
+// deterministically from the compiled problem.
+type EngineState struct {
+	// Iteration is the completed-iteration count.
+	Iteration int
+
+	// LatMs, Lambda and PathGamma are each controller's latency assignment,
+	// path prices, and path step-sizer sizes.
+	LatMs     [][]float64
+	Lambda    [][]float64
+	PathGamma [][]float64
+
+	// ErrMs carries each subtask's model-error correction: SetErrorMs writes
+	// only the compiled problem (never the source workload), so an engine
+	// rebuilt from the workload would silently lose it without this.
+	ErrMs [][]float64
+
+	// Mu and AgentGamma are each resource agent's price and step-sizer size;
+	// ShareSums/Congested the cached previous-iteration resource state.
+	Mu         []float64
+	AgentGamma []float64
+	ShareSums  []float64
+	Congested  []bool
+
+	// Sparse active-set state: the controller input fingerprints (incidence
+	// layout) and the per-controller/per-agent fixed-point flags. Restoring
+	// them verbatim — rather than invalidating — is what keeps the first
+	// post-restore Step identical to the uninterrupted one: the skip contract
+	// is exact, so a restored bit-identical state satisfies it identically.
+	FpMu        []float64
+	FpCong      []bool
+	CtlSolved   []bool
+	CtlStable   []bool
+	LatChanged  []bool
+	AgentStable []bool
+	SumValid    []bool
+	Sparse      SparseStats
+
+	// Dyn is the accelerated price solver's internal state (nil when the
+	// reference gradient runs on the agents' built-in path); DynReset marks a
+	// Dynamics that was present but not capturable, which restores under the
+	// Reset-on-restore contract instead. DynDelta is the last round's largest
+	// price move.
+	Dyn      *price.DynamicsState
+	DynReset bool
+	DynDelta float64
+}
+
+// CaptureState deep-copies the engine's full optimizer state. Call it
+// between Steps (the same discipline as the Set* mutators); the engine is
+// not touched.
+func (e *Engine) CaptureState() EngineState {
+	st := EngineState{
+		Iteration:   e.iter,
+		LatMs:       make([][]float64, len(e.controllers)),
+		Lambda:      make([][]float64, len(e.controllers)),
+		PathGamma:   make([][]float64, len(e.controllers)),
+		ErrMs:       make([][]float64, len(e.controllers)),
+		Mu:          make([]float64, len(e.agents)),
+		AgentGamma:  make([]float64, len(e.agents)),
+		ShareSums:   append([]float64(nil), e.shareSums...),
+		Congested:   append([]bool(nil), e.congested...),
+		FpMu:        append([]float64(nil), e.fpMu...),
+		FpCong:      append([]bool(nil), e.fpCong...),
+		CtlSolved:   append([]bool(nil), e.ctlSolved...),
+		CtlStable:   append([]bool(nil), e.ctlStable...),
+		LatChanged:  append([]bool(nil), e.latChanged...),
+		AgentStable: append([]bool(nil), e.agentStable...),
+		SumValid:    append([]bool(nil), e.sumValid...),
+		Sparse:      e.sstats,
+		DynDelta:    e.dynDelta,
+	}
+	for ti, c := range e.controllers {
+		st.LatMs[ti] = append([]float64(nil), c.LatMs...)
+		st.Lambda[ti] = append([]float64(nil), c.Lambda...)
+		st.PathGamma[ti] = make([]float64, len(c.pathStep))
+		for pi := range c.pathStep {
+			st.PathGamma[ti][pi] = c.pathStep[pi].Gamma()
+		}
+		st.ErrMs[ti] = make([]float64, len(e.p.Tasks[ti].Share))
+		for si := range e.p.Tasks[ti].Share {
+			st.ErrMs[ti][si] = e.p.Tasks[ti].Share[si].ErrMs
+		}
+	}
+	for ri, a := range e.agents {
+		st.Mu[ri] = a.Mu
+		st.AgentGamma[ri] = a.grad.Step.Gamma()
+	}
+	if e.dyn != nil {
+		if ds, ok := price.CaptureDynamics(e.dyn); ok {
+			st.Dyn = &ds
+		} else {
+			st.DynReset = true
+		}
+	}
+	return st
+}
+
+// restoreSizer forces one step sizer to a captured gamma; Fixed sizers (no
+// setter) accept only their own value.
+func restoreSizer(s price.StepSizer, gamma float64, what string) error {
+	if gs, ok := s.(price.GammaSetter); ok {
+		gs.SetGamma(gamma)
+		return nil
+	}
+	if s.Gamma() != gamma {
+		return fmt.Errorf("core: %s sizer %T cannot restore gamma %v (has %v and no SetGamma)", what, s, gamma, s.Gamma())
+	}
+	return nil
+}
+
+// RestoreState loads a captured state into this engine. The engine must be
+// freshly built over the same workload structure and config the checkpoint
+// was taken under (the recover package rebuilds it from the checkpoint's
+// embedded workload); any shape or solver mismatch is an error and leaves no
+// guarantee about the engine's state — rebuild before retrying. Workers and
+// Sparse may differ freely: both are bitwise-neutral.
+func (e *Engine) RestoreState(st EngineState) error {
+	if len(st.LatMs) != len(e.controllers) || len(st.Lambda) != len(e.controllers) ||
+		len(st.PathGamma) != len(e.controllers) || len(st.ErrMs) != len(e.controllers) {
+		return fmt.Errorf("core: checkpoint has %d tasks, engine has %d", len(st.LatMs), len(e.controllers))
+	}
+	if len(st.Mu) != len(e.agents) || len(st.AgentGamma) != len(e.agents) ||
+		len(st.ShareSums) != len(e.agents) || len(st.Congested) != len(e.agents) ||
+		len(st.AgentStable) != len(e.agents) || len(st.SumValid) != len(e.agents) {
+		return fmt.Errorf("core: checkpoint has %d resources, engine has %d", len(st.Mu), len(e.agents))
+	}
+	if len(st.FpMu) != len(e.fpMu) || len(st.FpCong) != len(e.fpCong) {
+		return fmt.Errorf("core: checkpoint fingerprint layout (%d slots) does not match engine (%d)", len(st.FpMu), len(e.fpMu))
+	}
+	if len(st.CtlSolved) != len(e.controllers) || len(st.CtlStable) != len(e.controllers) ||
+		len(st.LatChanged) != len(e.controllers) {
+		return fmt.Errorf("core: checkpoint controller flags sized %d, engine has %d tasks", len(st.CtlSolved), len(e.controllers))
+	}
+	for ti, c := range e.controllers {
+		if len(st.LatMs[ti]) != len(c.LatMs) || len(st.ErrMs[ti]) != len(e.p.Tasks[ti].Share) {
+			return fmt.Errorf("core: checkpoint task %d has %d subtasks, engine has %d", ti, len(st.LatMs[ti]), len(c.LatMs))
+		}
+		if len(st.Lambda[ti]) != len(c.Lambda) || len(st.PathGamma[ti]) != len(c.pathStep) {
+			return fmt.Errorf("core: checkpoint task %d has %d paths, engine has %d", ti, len(st.Lambda[ti]), len(c.Lambda))
+		}
+	}
+	switch {
+	case st.Dyn != nil && e.dyn == nil:
+		return fmt.Errorf("core: checkpoint holds %s solver state, engine runs the gradient agent path", st.Dyn.Solver)
+	case st.Dyn == nil && !st.DynReset && e.dyn != nil:
+		return fmt.Errorf("core: checkpoint was taken on the gradient agent path, engine runs %s", e.dyn.Solver())
+	}
+
+	for ti, c := range e.controllers {
+		for si := range e.p.Tasks[ti].Share {
+			// ErrMs first: refreshBounds reads it, and the restored latencies
+			// below must not be re-clamped against stale bounds.
+			e.p.Tasks[ti].Share[si].ErrMs = st.ErrMs[ti][si]
+			e.p.refreshBounds(ti, si)
+		}
+		copy(c.LatMs, st.LatMs[ti])
+		copy(c.Lambda, st.Lambda[ti])
+		for pi := range c.pathStep {
+			if err := restoreSizer(c.pathStep[pi], st.PathGamma[ti][pi], fmt.Sprintf("task %d path %d", ti, pi)); err != nil {
+				return err
+			}
+		}
+		// The shares scratch row must hold Share(restored LatMs): a restored
+		// clean resource reuses it verbatim in the next serial reduction.
+		c.SharesInto(e.shares[ti])
+	}
+	for ri, a := range e.agents {
+		a.Mu = st.Mu[ri]
+		if err := restoreSizer(a.grad.Step, st.AgentGamma[ri], fmt.Sprintf("resource %d", ri)); err != nil {
+			return err
+		}
+	}
+	copy(e.shareSums, st.ShareSums)
+	copy(e.congested, st.Congested)
+	copy(e.fpMu, st.FpMu)
+	copy(e.fpCong, st.FpCong)
+	copy(e.ctlSolved, st.CtlSolved)
+	copy(e.ctlStable, st.CtlStable)
+	copy(e.latChanged, st.LatChanged)
+	copy(e.agentStable, st.AgentStable)
+	copy(e.sumValid, st.SumValid)
+	e.sstats = st.Sparse
+	e.dynDelta = st.DynDelta
+	e.iter = st.Iteration
+
+	if st.Dyn != nil {
+		if err := price.RestoreDynamics(e.dyn, *st.Dyn); err != nil {
+			return err
+		}
+	} else if st.DynReset && e.dyn != nil {
+		// Reset-on-restore contract: the solver's history is gone, so it must
+		// restart from cleared state (NewEngine already Reset it; do it again
+		// in case the engine has stepped).
+		e.dyn.Reset(len(e.agents))
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"lla/internal/price"
+	"lla/internal/workload"
+)
+
+// TestRestoreBitwiseEverySolverAndWorkers is the checkpoint tentpole's
+// contract: crash at iteration k, capture, restore into a fresh engine, and
+// every subsequent snapshot is byte-identical to the uninterrupted run — for
+// every price solver, every capture/restore Workers combination, and both
+// with and without the sparse path having accumulated skip state.
+func TestRestoreBitwiseEverySolverAndWorkers(t *testing.T) {
+	w4 := func(t *testing.T) *workload.Workload {
+		w, err := workload.Replicate(workload.Base(), 4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	const crashAt = 60
+	const tail = 120
+	for _, solver := range price.Solvers() {
+		for _, wk := range []struct{ capture, restore int }{{1, 1}, {1, 4}, {4, 1}} {
+			t.Run(string(solver), func(t *testing.T) {
+				cfg := Config{Workers: wk.capture, PriceSolver: solver}
+				ref, err := NewEngine(w4(t), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				for i := 0; i < crashAt; i++ {
+					ref.Step()
+				}
+				st := ref.CaptureState()
+
+				restoredCfg := cfg
+				restoredCfg.Workers = wk.restore
+				restored, err := NewEngine(w4(t), restoredCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer restored.Close()
+				if err := restored.RestoreState(st); err != nil {
+					t.Fatalf("RestoreState: %v", err)
+				}
+				if restored.Iteration() != crashAt {
+					t.Fatalf("restored iteration = %d, want %d", restored.Iteration(), crashAt)
+				}
+
+				var rs, cs Snapshot
+				ref.SnapshotInto(&rs)
+				restored.SnapshotInto(&cs)
+				requireSnapshotsBitwiseEqual(t, crashAt, &rs, &cs)
+				for i := 0; i < tail; i++ {
+					ref.Step()
+					restored.Step()
+					ref.SnapshotInto(&rs)
+					restored.SnapshotInto(&cs)
+					requireSnapshotsBitwiseEqual(t, crashAt+i, &rs, &cs)
+				}
+				if ref.SolverFallbacks() != restored.SolverFallbacks() {
+					t.Fatalf("fallback counts diverged: ref %d restored %d",
+						ref.SolverFallbacks(), restored.SolverFallbacks())
+				}
+				if ref.SparseStats() != restored.SparseStats() {
+					t.Fatalf("sparse stats diverged:\n ref      %+v\n restored %+v",
+						ref.SparseStats(), restored.SparseStats())
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreCarriesErrorMs: SetErrorMs writes only the compiled problem, so
+// a restore that rebuilt the engine from the workload alone would lose it.
+// The captured state must carry it and the restored trajectory must match.
+func TestRestoreCarriesErrorMs(t *testing.T) {
+	ref, err := NewEngine(workload.Base(), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for i := 0; i < 20; i++ {
+		ref.Step()
+	}
+	name := ref.Problem().Tasks[0].Name
+	sub := ref.Problem().Tasks[0].SubtaskNames[0]
+	if err := ref.SetErrorMs(name, sub, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ref.Step()
+	}
+	st := ref.CaptureState()
+
+	restored, err := NewEngine(workload.Base(), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Problem().Tasks[0].Share[0].ErrMs; got != 0.4 {
+		t.Fatalf("restored ErrMs = %v, want 0.4", got)
+	}
+	var rs, cs Snapshot
+	for i := 0; i < 50; i++ {
+		ref.Step()
+		restored.Step()
+		ref.SnapshotInto(&rs)
+		restored.SnapshotInto(&cs)
+		requireSnapshotsBitwiseEqual(t, i, &rs, &cs)
+	}
+}
+
+// TestRestoreRejectsMismatch: shape and solver mismatches must refuse the
+// restore rather than load approximately.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	ref, err := NewEngine(workload.Base(), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	ref.Step()
+	st := ref.CaptureState()
+
+	bigger, err := workload.Replicate(workload.Base(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewEngine(bigger, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.RestoreState(st); err == nil {
+		t.Fatal("restoring into a differently shaped engine succeeded, want error")
+	}
+
+	accel, err := NewEngine(workload.Base(), Config{Workers: 1, PriceSolver: price.SolverNewton})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer accel.Close()
+	if err := accel.RestoreState(st); err == nil {
+		t.Fatal("restoring gradient checkpoint into newton engine succeeded, want error")
+	}
+
+	accelSt := func() EngineState {
+		e, err := NewEngine(workload.Base(), Config{Workers: 1, PriceSolver: price.SolverAnderson})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		e.Step()
+		return e.CaptureState()
+	}()
+	if err := ref.RestoreState(accelSt); err == nil {
+		t.Fatal("restoring anderson checkpoint into gradient engine succeeded, want error")
+	}
+}

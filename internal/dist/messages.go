@@ -56,6 +56,7 @@ func encodedBytesSaved(full, delta any) int64 {
 type priceMsg struct {
 	Round     int     `json:"round"`
 	Seq       int64   `json:"seq,omitempty"`
+	Epoch     uint64  `json:"epoch,omitempty"`
 	Resource  string  `json:"resource"`
 	Mu        float64 `json:"mu,omitempty"`
 	Congested bool    `json:"congested,omitempty"`
@@ -69,22 +70,57 @@ type priceMsg struct {
 type latencyMsg struct {
 	Round int                `json:"round"`
 	Seq   int64              `json:"seq,omitempty"`
+	Epoch uint64             `json:"epoch,omitempty"`
 	Task  string             `json:"task"`
 	LatMs map[string]float64 `json:"latMs,omitempty"`
 	Delta bool               `json:"delta,omitempty"`
 }
 
-// reportMsg is sent by a controller to the coordinator after each round so
-// the runtime can aggregate utility and detect convergence.
+// Epoch fencing (DESIGN.md §13). Every frame is stamped with the sender's
+// coordinator epoch — the generation number a restarted coordinator bumps
+// after loading its checkpoint. Frames are divided into two fencing classes:
+//
+//   - Coordinator control frames (stop, rejoin) and coordinator-bound frames
+//     (report, rejoinAck) are FENCED: a receiver discards — and counts — any
+//     such frame whose epoch is below its own. This is what stops a zombie
+//     coordinator from split-braining the cluster: its stale stop frames are
+//     provably from a dead generation and cannot halt nodes that already
+//     rejoined the live one.
+//   - Node-to-node data frames (price, latency) are STAMPED BUT NOT FENCED.
+//     The round protocol's correctness never depended on the coordinator
+//     (reports are fire-and-forget), so a price retransmitted from before the
+//     crash must still be folded after it — fencing data frames would strand
+//     the very recovery paths that make the run bitwise-exact.
 type reportMsg struct {
 	Round   int     `json:"round"`
+	Epoch   uint64  `json:"epoch,omitempty"`
 	Task    string  `json:"task"`
 	Utility float64 `json:"utility"`
 }
 
-// stopMsg tells a node to finish after completing the given round.
+// stopMsg tells a node to finish after completing the given round. Nodes
+// fence stale-epoch stops (see the epoch-fencing comment above).
 type stopMsg struct {
-	AfterRound int `json:"afterRound"`
+	AfterRound int    `json:"afterRound"`
+	Epoch      uint64 `json:"epoch,omitempty"`
+}
+
+// rejoinMsg is broadcast by a restarted coordinator: it announces the bumped
+// epoch and asks every live node to re-register. Controllers answer with a
+// rejoinAckMsg and re-send their cached last report (re-stamped with the new
+// epoch) so the coordinator can rebuild its aggregation state; resources just
+// adopt the epoch so they fence stale stops.
+type rejoinMsg struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// rejoinAckMsg is a controller's answer to a rejoin: the adopted epoch and
+// the last round it reported, which the coordinator uses to resynchronize
+// its emission cursor past the rounds whose reports died with the crash.
+type rejoinAckMsg struct {
+	Epoch uint64 `json:"epoch"`
+	Task  string `json:"task"`
+	Round int    `json:"round"`
 }
 
 // finMsg is sent by a resource node to its controllers when it has completed
@@ -105,6 +141,8 @@ const (
 	kindFin           = "fin"
 	kindAdmitQuery    = "admitQuery"
 	kindAdmitDecision = "admitDecision"
+	kindRejoin        = "rejoin"
+	kindRejoinAck     = "rejoinAck"
 )
 
 // Address helpers: resources and controllers get deterministic names.

@@ -61,6 +61,11 @@ type resourceNode struct {
 	prevMu    float64
 	prevCong  bool
 	prevValid bool
+	// epoch is the coordinator generation this node has adopted, learned
+	// from rejoin broadcasts and stop frames (monotone max). Stale-epoch
+	// coordinator control frames are fenced and counted in fencedEpoch.
+	epoch       uint64
+	fencedEpoch int64
 	// retransmits and rejectedStale count fault-recovery events; read by the
 	// runtime after the node goroutine joins. deltaSuppressed counts
 	// delta-encoded broadcasts, deltaBytesSaved the payload bytes those
@@ -112,6 +117,7 @@ func newResourceNode(p *core.Problem, ri int, agent *core.ResourceAgent, ep tran
 func (n *resourceNode) broadcastPrice(round int, congested bool) error {
 	msg := priceMsg{
 		Round:     round,
+		Epoch:     n.epoch,
 		Resource:  n.p.Resources[n.ri].ID,
 		Mu:        n.agent.Mu,
 		Congested: congested,
@@ -120,7 +126,7 @@ func (n *resourceNode) broadcastPrice(round int, congested bool) error {
 	wire := msg
 	if n.delta && n.prevValid && round%deltaKeyframeInterval != 0 &&
 		msg.Mu == n.prevMu && msg.Congested == n.prevCong {
-		wire = priceMsg{Round: round, Resource: msg.Resource, Delta: true}
+		wire = priceMsg{Round: round, Epoch: n.epoch, Resource: msg.Resource, Delta: true}
 		saved := encodedBytesSaved(msg, wire) * int64(len(n.controllers))
 		n.deltaSuppressed += int64(len(n.controllers))
 		n.deltaBytesSaved += saved
@@ -239,8 +245,26 @@ func (n *resourceNode) run(maxRounds int) error {
 			if err := m.Decode(&sm); err != nil {
 				return err
 			}
+			if sm.Epoch < n.epoch {
+				// A zombie coordinator from a fenced-off generation cannot
+				// halt this node.
+				n.fencedEpoch++
+				continue
+			}
+			n.epoch = sm.Epoch
 			if sm.AfterRound < limit {
 				limit = sm.AfterRound
+			}
+			continue
+		case kindRejoin:
+			var jm rejoinMsg
+			if err := m.Decode(&jm); err != nil {
+				return err
+			}
+			if jm.Epoch < n.epoch {
+				n.fencedEpoch++
+			} else {
+				n.epoch = jm.Epoch
 			}
 			continue
 		default:
@@ -342,6 +366,17 @@ type controllerNode struct {
 	// lastLat caches the latest full latency message per resource for
 	// retransmission, stale recovery, and as the delta codec's reference.
 	lastLat map[int]latencyMsg
+	// epoch is the adopted coordinator generation; fencedEpoch counts
+	// discarded stale-epoch coordinator control frames (see messages.go).
+	epoch       uint64
+	fencedEpoch int64
+	// lastReport caches the most recent utility report so a rejoining
+	// coordinator can rebuild its aggregation state; haveReport gates the
+	// first round.
+	lastReport reportMsg
+	haveReport bool
+	// rejoins counts rejoin handshakes this controller answered.
+	rejoins int64
 	// retransmits and rejectedStale count fault-recovery events; read by the
 	// runtime after the node goroutine joins. deltaSuppressed counts
 	// delta-encoded share reports, deltaBytesSaved the bytes they saved.
@@ -397,11 +432,11 @@ func (n *controllerNode) sendLatencies(round int) error {
 		m[pt.SubtaskNames[si]] = n.ctl.LatMs[si]
 	}
 	for ri, lats := range byRes {
-		msg := latencyMsg{Round: round, Task: n.name, LatMs: lats}
+		msg := latencyMsg{Round: round, Epoch: n.epoch, Task: n.name, LatMs: lats}
 		wire := msg
 		if n.delta && round%deltaKeyframeInterval != 0 &&
 			latMapsEqual(lats, n.lastLat[ri].LatMs) {
-			wire = latencyMsg{Round: round, Task: n.name, Delta: true}
+			wire = latencyMsg{Round: round, Epoch: n.epoch, Task: n.name, Delta: true}
 			saved := encodedBytesSaved(msg, wire)
 			n.deltaSuppressed++
 			n.deltaBytesSaved += saved
@@ -416,11 +451,42 @@ func (n *controllerNode) sendLatencies(round int) error {
 	if !n.reports {
 		return nil
 	}
-	return n.ep.Send(coordinatorAddr, kindReport, reportMsg{
+	n.lastReport = reportMsg{
 		Round:   round,
+		Epoch:   n.epoch,
 		Task:    n.name,
 		Utility: n.ctl.Utility(),
-	})
+	}
+	n.haveReport = true
+	return n.ep.Send(coordinatorAddr, kindReport, n.lastReport)
+}
+
+// handleRejoin answers a restarted coordinator: adopt its epoch, acknowledge
+// with the last reported round, and re-send the cached report re-stamped with
+// the new epoch so the coordinator can resume aggregation. Stale-epoch
+// rejoins (a zombie generation) are fenced; duplicate rejoins of the current
+// epoch are re-acked (the handshake is idempotent under retries).
+func (n *controllerNode) handleRejoin(jm rejoinMsg) error {
+	if jm.Epoch < n.epoch {
+		n.fencedEpoch++
+		return nil
+	}
+	n.epoch = jm.Epoch
+	n.rejoins++
+	ack := rejoinAckMsg{Epoch: n.epoch, Task: n.name, Round: -1}
+	if n.haveReport {
+		ack.Round = n.lastReport.Round
+	}
+	if err := n.ep.Send(coordinatorAddr, kindRejoinAck, ack); err != nil {
+		return fmt.Errorf("dist: controller %s: %w", n.name, err)
+	}
+	if n.haveReport && n.reports {
+		n.lastReport.Epoch = n.epoch
+		if err := n.ep.Send(coordinatorAddr, kindReport, n.lastReport); err != nil {
+			return fmt.Errorf("dist: controller %s: %w", n.name, err)
+		}
+	}
+	return nil
 }
 
 // latMapsEqual compares two latency payloads bitwise. A nil prev (first
@@ -516,8 +582,23 @@ func (n *controllerNode) run(maxRounds int) error {
 			if err := m.Decode(&sm); err != nil {
 				return err
 			}
+			if sm.Epoch < n.epoch {
+				// Fenced: a zombie coordinator cannot halt this node.
+				n.fencedEpoch++
+				continue
+			}
+			n.epoch = sm.Epoch
 			if sm.AfterRound < limit {
 				limit = sm.AfterRound
+			}
+			continue
+		case kindRejoin:
+			var jm rejoinMsg
+			if err := m.Decode(&jm); err != nil {
+				return err
+			}
+			if err := n.handleRejoin(jm); err != nil {
+				return err
 			}
 			continue
 		case kindFin:
@@ -587,6 +668,17 @@ func (n *controllerNode) linger() error {
 				var fm finMsg
 				if err := m.Decode(&fm); err == nil {
 					finned[fm.Resource] = true
+				}
+			case kindRejoin:
+				// A coordinator restarting after this controller's final
+				// allocation still gets its ack and last report.
+				var jm rejoinMsg
+				if err := m.Decode(&jm); err != nil {
+					continue
+				}
+				quiet = 0
+				if err := n.handleRejoin(jm); err != nil {
+					return err
 				}
 			case kindPrice:
 				var pm priceMsg

@@ -178,6 +178,19 @@ type Result struct {
 	// Admissions records every admission query the coordinator answered
 	// during the run, in arrival order (see admission.go).
 	Admissions []AdmissionDecision
+	// Epoch is the coordinator generation the run finished on: 0 for an
+	// uninterrupted run, bumped once per coordinator restart (failover.go).
+	Epoch uint64
+	// CoordinatorRestarts counts coordinator crash/restart cycles executed
+	// by a failover plan.
+	CoordinatorRestarts int
+	// FencedStale counts stale-epoch frames discarded by epoch fencing,
+	// summed over the coordinator (old-generation reports and acks) and the
+	// nodes (a zombie coordinator's control frames).
+	FencedStale int64
+	// Rejoins counts completed rejoin handshakes (controller acks processed
+	// by a restarted coordinator).
+	Rejoins int64
 }
 
 // Run executes exactly rounds synchronous rounds and returns the final
@@ -196,13 +209,9 @@ func (r *Runtime) RunUntilConverged(maxRounds int, relTol float64, window int) (
 	return r.run(maxRounds, det)
 }
 
-// run starts all nodes, monitors reports at the coordinator, and joins.
-func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, error) {
-	if maxRounds <= 0 {
-		return nil, fmt.Errorf("dist: rounds must be positive, got %d", maxRounds)
-	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(r.ctlNodes)*2+len(r.resNodes)*2+8)
+// startNodes installs the fault policy on every node and launches the node
+// goroutines; failures land on errCh. Shared by run and RunWithFailover.
+func (r *Runtime) startNodes(maxRounds int, wg *sync.WaitGroup, errCh chan<- error) {
 	for _, n := range r.resNodes {
 		n.fp, n.stop = r.fp, r.stop
 		n.delta = r.cfg.Sparse != core.SparseOff
@@ -225,6 +234,47 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 			}
 		}(n)
 	}
+}
+
+// collect folds the final node state and counters into res after all node
+// goroutines have joined. Shared by run and RunWithFailover.
+func (r *Runtime) collect(res *Result) {
+	res.Rounds = res.UtilitySeries.Len()
+	for _, c := range r.controllers {
+		res.Utility += c.Utility()
+		res.LatMs = append(res.LatMs, append([]float64(nil), c.LatMs...))
+	}
+	for _, a := range r.agents {
+		res.Mu = append(res.Mu, a.Mu)
+	}
+	for _, n := range r.ctlNodes {
+		res.Retransmits += n.retransmits
+		res.RejectedStale += n.rejectedStale
+		res.DeltaSuppressed += n.deltaSuppressed
+		res.DeltaBytesSaved += n.deltaBytesSaved
+		res.FencedStale += n.fencedEpoch
+		res.Rejoins += n.rejoins
+	}
+	for _, n := range r.resNodes {
+		res.Retransmits += n.retransmits
+		res.RejectedStale += n.rejectedStale
+		res.DeltaSuppressed += n.deltaSuppressed
+		res.DeltaBytesSaved += n.deltaBytesSaved
+		res.FencedStale += n.fencedEpoch
+		if n.dyn != nil {
+			res.SolverFallbacks += n.dyn.fallbacks()
+		}
+	}
+}
+
+// run starts all nodes, monitors reports at the coordinator, and joins.
+func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, error) {
+	if maxRounds <= 0 {
+		return nil, fmt.Errorf("dist: rounds must be positive, got %d", maxRounds)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(r.ctlNodes)*2+len(r.resNodes)*2+8)
+	r.startNodes(maxRounds, &wg, errCh)
 
 	// Coordinator: aggregate per-round utilities and watch report leases; on
 	// convergence, broadcast stop. The coordinator reads until its endpoint
@@ -292,7 +342,7 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 						if r.obsv != nil {
 							r.obsv.Emit(obs.Event{Kind: obs.EventConverged, Round: nextEmit, Value: u})
 						}
-						r.broadcastStop(nextEmit+1, errCh)
+						r.broadcastStop(nextEmit+1, 0, errCh)
 					}
 					nextEmit++
 				}
@@ -323,35 +373,14 @@ func (r *Runtime) run(maxRounds int, det *stats.ConvergenceDetector) (*Result, e
 	default:
 	}
 
-	res.Rounds = res.UtilitySeries.Len()
-	for _, c := range r.controllers {
-		res.Utility += c.Utility()
-		res.LatMs = append(res.LatMs, append([]float64(nil), c.LatMs...))
-	}
-	for _, a := range r.agents {
-		res.Mu = append(res.Mu, a.Mu)
-	}
-	for _, n := range r.ctlNodes {
-		res.Retransmits += n.retransmits
-		res.RejectedStale += n.rejectedStale
-		res.DeltaSuppressed += n.deltaSuppressed
-		res.DeltaBytesSaved += n.deltaBytesSaved
-	}
-	for _, n := range r.resNodes {
-		res.Retransmits += n.retransmits
-		res.RejectedStale += n.rejectedStale
-		res.DeltaSuppressed += n.deltaSuppressed
-		res.DeltaBytesSaved += n.deltaBytesSaved
-		if n.dyn != nil {
-			res.SolverFallbacks += n.dyn.fallbacks()
-		}
-	}
+	r.collect(res)
 	return res, nil
 }
 
-// broadcastStop tells every node to stop after the given round.
-func (r *Runtime) broadcastStop(afterRound int, errCh chan<- error) {
-	msg := stopMsg{AfterRound: afterRound}
+// broadcastStop tells every node to stop after the given round, stamped with
+// the coordinator's current epoch (0 for uninterrupted runs).
+func (r *Runtime) broadcastStop(afterRound int, epoch uint64, errCh chan<- error) {
+	msg := stopMsg{AfterRound: afterRound, Epoch: epoch}
 	for ti := range r.p.Tasks {
 		if err := r.coordinator.Send(controllerAddr(r.p.Tasks[ti].Name), kindStop, msg); err != nil {
 			errCh <- err

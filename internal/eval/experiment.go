@@ -168,6 +168,14 @@ type Options struct {
 	// reattach the same observer to each; samples carry iteration numbers
 	// that restart at 1 per engine.
 	Observer *obs.Observer
+	// CheckpointDir roots crash-safe checkpoints (internal/recover) for the
+	// experiments that write them — currently the soak. Empty uses a
+	// temporary directory that does not survive the process.
+	CheckpointDir string
+	// CheckpointEvery is the churn-event period between periodic checkpoint
+	// saves (0 = the experiment's default). Checkpoints are also written on
+	// convergence and immediately before every simulated crash.
+	CheckpointEvery int
 }
 
 // attach hooks the configured observer (if any) onto an engine. Every

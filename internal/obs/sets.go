@@ -203,3 +203,38 @@ func NewDistMetrics(r *Registry) *DistMetrics {
 			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
 	}
 }
+
+// RecoverMetrics is the crash-recovery metric set: checkpoint writes,
+// restores, the coordinator generation, and the fencing/rejoin counters that
+// prove a dead generation stayed dead.
+type RecoverMetrics struct {
+	// Checkpoints counts durably written checkpoints.
+	Checkpoints *Counter
+	// CheckpointBytes is the encoded size of the most recent checkpoint.
+	CheckpointBytes *Gauge
+	// Restores counts engines rebuilt from a checkpoint.
+	Restores *Counter
+	// Epoch is the current coordinator generation.
+	Epoch *Gauge
+	// FencedFrames counts stale-epoch frames discarded by epoch fencing.
+	FencedFrames *Counter
+	// Rejoins counts completed rejoin handshakes after coordinator restarts.
+	Rejoins *Counter
+	// RecoveryRounds is the distribution of rounds needed to re-converge
+	// after a restore (warm restarts; cold re-convergence sits in the tail).
+	RecoveryRounds *Histogram
+}
+
+// NewRecoverMetrics registers the crash-recovery metric set on r.
+func NewRecoverMetrics(r *Registry) *RecoverMetrics {
+	return &RecoverMetrics{
+		Checkpoints:     r.Counter("lla_recover_checkpoints_total", "Checkpoints durably written."),
+		CheckpointBytes: r.Gauge("lla_recover_checkpoint_bytes", "Encoded size of the most recent checkpoint."),
+		Restores:        r.Counter("lla_recover_restores_total", "Engines rebuilt from a checkpoint."),
+		Epoch:           r.Gauge("lla_recover_epoch", "Current coordinator generation."),
+		FencedFrames:    r.Counter("lla_recover_fenced_frames_total", "Stale-epoch frames discarded by fencing."),
+		Rejoins:         r.Counter("lla_recover_rejoins_total", "Completed rejoin handshakes after restarts."),
+		RecoveryRounds: r.Histogram("lla_recover_recovery_rounds", "Rounds to re-converge after a restore.",
+			[]float64{5, 10, 25, 50, 100, 250, 500, 1000, 2500}),
+	}
+}

@@ -32,6 +32,16 @@ const (
 	// EventRebalance fires when the placer's skew-triggered rebalance moves
 	// a resident task; Task names it and Detail the new binding.
 	EventRebalance = "rebalance"
+	// EventCheckpoint fires when a checkpoint is durably written; Iteration
+	// is the engine iteration it captured, Value its encoded size in bytes.
+	EventCheckpoint = "checkpoint"
+	// EventRestore fires when an engine is rebuilt from a checkpoint;
+	// Iteration is the restored iteration, Detail the checkpoint path.
+	EventRestore = "restore"
+	// EventEpochBump fires when a restarted coordinator adopts a new
+	// generation; Value is the new epoch, Round the emission cursor at
+	// restart.
+	EventEpochBump = "epoch_bump"
 )
 
 // Event is one structured trace event. Unused fields are omitted from the

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the core optimizer benchmarks and writes BENCH_core.json (parsed via
 # scripts/benchparse), failing if the sparse converged-step path is not
-# faster than the dense one or an accelerated price solver needs more
-# rounds-to-converge than the reference gradient.
+# faster than the dense one, an accelerated price solver needs more
+# rounds-to-converge than the reference gradient, or a warm checkpoint
+# restart does not re-converge in fewer rounds than a cold one.
 #
 #   scripts/bench.sh [output.json]
 #   BENCHTIME=200ms scripts/bench.sh     # quicker smoke run (CI)
@@ -13,7 +14,7 @@ out="${1:-BENCH_core.json}"
 benchtime="${BENCHTIME:-1s}"
 
 go test -run '^$' \
-  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge' \
+  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge|BenchmarkRecoveryRounds' \
   -benchtime "$benchtime" -json . \
   | go run ./scripts/benchparse -o "$out" -check
 

@@ -76,6 +76,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
 			os.Exit(1)
 		}
+		if err := checkRecoveryWarmFaster(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -217,6 +221,42 @@ func checkAcceleratedRounds(recs []record) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "benchparse: check passed: accelerated rounds <= gradient (%.0f)\n", gradient)
+	return nil
+}
+
+// checkRecoveryWarmFaster enforces the crash-recovery regression gate: a
+// warm restart from a checkpoint (BenchmarkRecoveryRounds/warm) must
+// re-converge in strictly fewer rounds than a cold restart from scratch
+// (.../cold). Absent recovery benchmarks skip the gate (narrower runs stay
+// usable); a run with one side but not the other is an error.
+func checkRecoveryWarmFaster(recs []record) error {
+	const prefix = "BenchmarkRecoveryRounds/"
+	warm, cold := -1.0, -1.0
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		rounds, ok := r.Metrics["rounds"]
+		if !ok {
+			return fmt.Errorf("%s reported no rounds metric", r.Name)
+		}
+		switch trimCPUSuffix(strings.TrimPrefix(r.Name, prefix)) {
+		case "warm":
+			warm = rounds
+		case "cold":
+			cold = rounds
+		}
+	}
+	if warm < 0 && cold < 0 {
+		return nil
+	}
+	if warm < 0 || cold < 0 {
+		return fmt.Errorf("recovery benchmarks incomplete: warm=%v cold=%v (need both)", warm >= 0, cold >= 0)
+	}
+	if warm >= cold {
+		return fmt.Errorf("warm recovery (%.0f rounds) is not below cold re-convergence (%.0f rounds)", warm, cold)
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: check passed: warm recovery %.0f rounds < cold %.0f\n", warm, cold)
 	return nil
 }
 
