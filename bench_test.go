@@ -15,6 +15,9 @@
 package lla_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
@@ -30,6 +33,7 @@ import (
 	"lla/internal/sim"
 	"lla/internal/task"
 	"lla/internal/transport"
+	"lla/internal/wire"
 	"lla/internal/workload"
 )
 
@@ -607,4 +611,67 @@ func BenchmarkSimulator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.RunFor(100)
 	}
+}
+
+// BenchmarkWireCodec measures the binary wire codec (PROTOCOL.md) on the
+// frame the protocol optimizes for — one round's 64 price updates as a
+// single batched frame with dictionary-compressed resource ids — against
+// the 64 individual length-prefixed JSON frames the legacy framing ships
+// for the same round. benchparse gates binary_bytes at <= json_bytes/10.
+func BenchmarkWireCodec(b *testing.B) {
+	const entries = 64
+	resources := make([]string, entries)
+	updates := make([]wire.PriceUpdate, entries)
+	jsonBytes := 0
+	for i := range resources {
+		resources[i] = fmt.Sprintf("resource-%02d", i)
+		updates[i] = wire.PriceUpdate{
+			Round:    1200 + i,
+			Epoch:    3,
+			Resource: resources[i],
+			Mu:       0.125 + float64(i)/1024,
+		}
+		one, err := json.Marshal(updates[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		oneFrame, err := json.Marshal(transport.Message{
+			From: "res/" + resources[i], To: "ctl/task1", Kind: "price", Payload: one,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jsonBytes += 4 + len(oneFrame) // the legacy framing's length prefix
+	}
+	payload, err := json.Marshal(updates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := transport.Message{From: "coordinator", To: "ctl/task1", Kind: "price", Payload: payload}
+
+	dict, err := wire.NewDict(resources, []string{"task1"}, [][]string{{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	codec := wire.NewCodec(dict)
+	frame, err := codec.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	r := bufio.NewReader(bytes.NewReader(nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := codec.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Reset(bytes.NewReader(enc))
+		if _, err := codec.Read(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(frame)), "binary_bytes")
+	b.ReportMetric(float64(jsonBytes), "json_bytes")
+	b.ReportMetric(float64(jsonBytes)/float64(len(frame)), "compression")
 }

@@ -54,6 +54,7 @@ func main() {
 // flags are declared, so the help test can assert the complete set.
 type nodeFlags struct {
 	workloadArg, registryPath, role, id, debugAddr, tracePath, solver, checkpointDir *string
+	wireMode                                                                        *string
 	demo, printRegistry, sparse                                                     *bool
 	rounds, workers, checkpointEvery                                                *int
 }
@@ -78,6 +79,8 @@ func newFlagSet() (*flag.FlagSet, *nodeFlags) {
 			"demo mode: persist crash-safe checkpoints of the deployment's optimizer state here; the coordinator epoch resumes from the newest one"),
 		checkpointEvery: fs.Int("checkpoint-every", 0,
 			"demo mode: rounds between periodic checkpoint saves (0 = a default period)"),
+		wireMode: fs.String("wire", "binary",
+			"TCP message framing: binary (the PROTOCOL.md codec, negotiated per connection with automatic JSON fallback for pre-codec peers) or json (legacy length-prefixed JSON)"),
 	}
 	return fs, f
 }
@@ -102,6 +105,9 @@ func run(ctx context.Context, args []string) error {
 	sol, err := price.ParseSolver(*solver)
 	if err != nil {
 		return err
+	}
+	if *f.wireMode != "binary" && *f.wireMode != "json" {
+		return fmt.Errorf("unknown -wire mode %q (have binary, json)", *f.wireMode)
 	}
 	cfg := core.Config{Workers: *workers, Sparse: core.SparseOn, PriceSolver: sol}
 	if !*sparse {
@@ -133,7 +139,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	if *demo {
-		return runDemo(ctx, w, cfg, *rounds, o, *f.checkpointDir, *f.checkpointEvery)
+		return runDemo(ctx, w, cfg, *rounds, o, *f.checkpointDir, *f.checkpointEvery, *f.wireMode)
 	}
 
 	if *registryPath == "" {
@@ -148,6 +154,9 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("parsing registry: %w", err)
 	}
 	net := transport.NewTCP(registry)
+	if *f.wireMode == "binary" {
+		net.SetCodec(nodeCodec(w, o))
+	}
 
 	switch *role {
 	case "resource":
@@ -177,6 +186,16 @@ func run(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown role %q (want resource or controller)", *role)
 	}
+}
+
+// nodeCodec builds the workload's binary codec, publishing lla_wire_*
+// metrics when an observer registry exists.
+func nodeCodec(w *workload.Workload, o *obs.Observer) transport.Codec {
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Metrics
+	}
+	return dist.WireCodec(w, reg)
 }
 
 // loadWorkload resolves built-in names or reads a JSON file.
@@ -247,12 +266,16 @@ func buildObserver(debugAddr, tracePath string) (*obs.Observer, func(), error) {
 // periodically and at the end — via a serial mirror engine (the protocol is
 // bitwise-identical to the engine, so the mirror's state IS the
 // deployment's).
-func runDemo(ctx context.Context, w *workload.Workload, cfg core.Config, rounds int, o *obs.Observer, ckptDir string, ckptEvery int) error {
+func runDemo(ctx context.Context, w *workload.Workload, cfg core.Config, rounds int, o *obs.Observer, ckptDir string, ckptEvery int, wireMode string) error {
 	registry := make(map[string]string)
 	for _, addr := range dist.Addresses(w) {
 		registry[addr] = "127.0.0.1:0"
 	}
-	rt, err := dist.New(w, cfg, transport.NewTCP(registry))
+	net := transport.NewTCP(registry)
+	if wireMode == "binary" {
+		net.SetCodec(nodeCodec(w, o))
+	}
+	rt, err := dist.New(w, cfg, net)
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,7 @@ import (
 
 	"lla/internal/core"
 	"lla/internal/eval"
+	"lla/internal/gateway"
 	"lla/internal/obs"
 	"lla/internal/price"
 	"lla/internal/stats"
@@ -79,9 +80,10 @@ func main() {
 // flags are declared, so the help test can assert the complete set.
 type simFlags struct {
 	experiment, solver, csvDir, tracePath, debugAddr, checkpointDir *string
-	quick, sparse                                                  *bool
-	seed                                                           *int64
-	workers, sampleEvery, checkpointEvery                          *int
+	wireMode, gatewayAddr                                           *string
+	quick, sparse                                                   *bool
+	seed                                                            *int64
+	workers, sampleEvery, checkpointEvery                           *int
 }
 
 // newFlagSet declares the full lla-sim flag set.
@@ -105,6 +107,10 @@ func newFlagSet() (*flag.FlagSet, *simFlags) {
 			"directory for crash-safe checkpoints in experiments that write them (soak); empty = a per-run temp dir"),
 		checkpointEvery: fs.Int("checkpoint-every", 0,
 			"churn events between periodic checkpoint saves (0 = experiment default)"),
+		wireMode: fs.String("wire", "binary",
+			"message framing for distributed-runtime experiments (soak): binary (PROTOCOL.md codec) or json (legacy framing) — results are bitwise identical"),
+		gatewayAddr: fs.String("gateway-addr", "",
+			"serve the live SSE control-plane gateway (/stream, /state) on this address while experiments run"),
 	}
 	return fs, f
 }
@@ -125,8 +131,12 @@ func run(args []string) error {
 	debugAddr := f.debugAddr
 	sampleEvery := f.sampleEvery
 
+	if *f.wireMode != "binary" && *f.wireMode != "json" {
+		return fmt.Errorf("unknown -wire mode %q (have binary, json)", *f.wireMode)
+	}
+
 	var o *obs.Observer
-	if *tracePath != "" || *debugAddr != "" {
+	if *tracePath != "" || *debugAddr != "" || *f.gatewayAddr != "" {
 		o = &obs.Observer{Metrics: obs.NewRegistry()}
 		if *tracePath != "" {
 			f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -151,6 +161,17 @@ func run(args []string) error {
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
 		}
+		if *f.gatewayAddr != "" {
+			gw := gateway.New(gateway.Config{}, o.Metrics)
+			o.Recorder = obs.MultiRecorder(o.Recorder, gw)
+			o.Trace = obs.MultiSink(o.Trace, gw)
+			srv, addr, err := gateway.Serve(*f.gatewayAddr, gw)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "gateway on http://%s/stream (SSE; snapshot at /state — see OBSERVABILITY.md)\n", addr)
+		}
 	}
 
 	runners := make(map[string]func(eval.Options) (*eval.Result, error), len(experiments))
@@ -172,7 +193,7 @@ func run(args []string) error {
 		return err
 	}
 	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o, Sparse: sparseMode(*sparse), Solver: sol,
-		CheckpointDir: *f.checkpointDir, CheckpointEvery: *f.checkpointEvery}
+		CheckpointDir: *f.checkpointDir, CheckpointEvery: *f.checkpointEvery, Wire: *f.wireMode}
 	for _, name := range selected {
 		res, err := runners[name](opts)
 		if err != nil {

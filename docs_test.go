@@ -1,12 +1,15 @@
 package lla
 
 import (
+	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"lla/internal/wire"
 )
 
 // mdLink matches inline markdown links [text](target). Reference-style and
@@ -60,6 +63,29 @@ func TestDocsLinks(t *testing.T) {
 			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: dead link %q (resolved %s)", md, m[1], resolved)
 			}
+		}
+	}
+}
+
+// TestProtocolCoversFrameTypes keeps PROTOCOL.md honest: every frame type
+// the codec can emit must appear in the spec by name and by its hex code.
+// Adding a frame type without documenting it fails here.
+func TestProtocolCoversFrameTypes(t *testing.T) {
+	raw, err := os.ReadFile("PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := string(raw)
+	types := wire.FrameTypes()
+	if len(types) == 0 {
+		t.Fatal("wire.FrameTypes() is empty")
+	}
+	for name, code := range types {
+		if !strings.Contains(spec, name) {
+			t.Errorf("PROTOCOL.md does not mention frame type %s", name)
+		}
+		if hex := fmt.Sprintf("0x%02X", code); !strings.Contains(spec, hex) {
+			t.Errorf("PROTOCOL.md does not document code %s (frame type %s)", hex, name)
 		}
 	}
 }

@@ -176,6 +176,12 @@ type Options struct {
 	// saves (0 = the experiment's default). Checkpoints are also written on
 	// convergence and immediately before every simulated crash.
 	CheckpointEvery int
+	// Wire selects the message framing for experiments that run the
+	// distributed runtime (currently the soak): "binary" round-trips every
+	// delivery through the internal/wire codec (PROTOCOL.md), "" or "json"
+	// keeps the legacy JSON framing. Results are bitwise identical either
+	// way — the codec is a transparent transport layer.
+	Wire string
 }
 
 // attach hooks the configured observer (if any) onto an engine. Every

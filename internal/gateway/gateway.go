@@ -1,0 +1,357 @@
+// Package gateway streams live optimizer state to operators over HTTP
+// Server-Sent Events: prices, KKT residuals, capacity violations and
+// admission/trace events, delta-encoded between periodic keyframes (the
+// same keyframe/delta discipline as the dist transport's delta codec,
+// PROTOCOL.md §6). It attaches to a run as an obs.Recorder (per-iteration
+// samples) and obs.Sink (trace events), so any component an Observer can
+// watch can be streamed without modification.
+//
+// Endpoints (see OBSERVABILITY.md and the EXPERIMENTS.md runbook):
+//
+//	/stream  SSE: one "keyframe" event on connect, then "delta" events,
+//	         with "keyframe" resyncs after slow-consumer drops and every
+//	         KeyframeEvery deltas as defense-in-depth; "trace" events
+//	         carry obs.Event JSON.
+//	/state   the current keyframe as plain JSON (for curl/polling).
+//
+// Backpressure is per connection: each subscriber has a bounded queue;
+// when it overflows, events are dropped and the subscriber is marked lost
+// until the next broadcast re-seeds it with a fresh keyframe, so a slow
+// consumer sees a gap but never a stale or torn state.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"lla/internal/obs"
+)
+
+// Config tunes the gateway. The zero value is usable.
+type Config struct {
+	// KeyframeEvery forces a full keyframe every N delta events (default
+	// 16, matching the dist delta codec's keyframe interval).
+	KeyframeEvery int
+	// QueueLen is the per-connection event queue capacity (default 64).
+	QueueLen int
+}
+
+// Keyframe is the full streamed state: the most recent iteration sample's
+// operator-facing fields. Seq orders events within the stream.
+type Keyframe struct {
+	Seq       uint64    `json:"seq"`
+	Iteration int       `json:"iter"`
+	Utility   float64   `json:"utility"`
+	KKTMax    float64   `json:"kkt_max"`
+	KKTMean   float64   `json:"kkt_mean"`
+	MaxRes    float64   `json:"max_res_viol"`
+	MaxPath   float64   `json:"max_path_viol"`
+	Mu        []float64 `json:"mu"`
+	ShareSums []float64 `json:"share_sums"`
+	Avail     []float64 `json:"avail"`
+}
+
+// Delta carries one iteration's changes against the previous event:
+// scalars ride every delta (they are a few bytes), vectors are encoded as
+// parallel changed-index/value arrays. A consumer applies MuIdx[i] ->
+// MuVal[i] onto its copy of the last keyframe state.
+type Delta struct {
+	Seq       uint64    `json:"seq"`
+	Iteration int       `json:"iter"`
+	Utility   float64   `json:"utility"`
+	KKTMax    float64   `json:"kkt_max"`
+	KKTMean   float64   `json:"kkt_mean"`
+	MaxRes    float64   `json:"max_res_viol"`
+	MaxPath   float64   `json:"max_path_viol"`
+	MuIdx     []int     `json:"mu_i,omitempty"`
+	MuVal     []float64 `json:"mu_v,omitempty"`
+	ShareIdx  []int     `json:"share_i,omitempty"`
+	ShareVal  []float64 `json:"share_v,omitempty"`
+	AvailIdx  []int     `json:"avail_i,omitempty"`
+	AvailVal  []float64 `json:"avail_v,omitempty"`
+}
+
+// Gateway is the streaming control-plane endpoint. Create with New, attach
+// as Observer.Recorder and Observer.Trace (obs.MultiRecorder/MultiSink
+// compose it with a JSONL trace), and serve Handler somewhere.
+type Gateway struct {
+	cfg Config
+	m   *obs.GatewayMetrics
+
+	mu       sync.Mutex
+	subs     map[*subscriber]struct{}
+	scratch  obs.IterationSample
+	state    obs.IterationSample // last committed sample (deep copy)
+	have     bool
+	seq      uint64
+	sinceKey int
+	keyCache []byte // marshaled keyframe for keySeq
+	keySeq   uint64
+}
+
+// New returns a gateway. reg may be nil; pass the run's registry to
+// publish lla_gateway_* metrics.
+func New(cfg Config, reg *obs.Registry) *Gateway {
+	if cfg.KeyframeEvery <= 0 {
+		cfg.KeyframeEvery = 16
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 64
+	}
+	g := &Gateway{cfg: cfg, subs: make(map[*subscriber]struct{}), m: &obs.GatewayMetrics{}}
+	if reg != nil {
+		g.m = obs.NewGatewayMetrics(reg)
+	}
+	return g
+}
+
+// subscriber is one /stream connection's bounded queue.
+type subscriber struct {
+	ch chan sseEvent
+	// lost marks a subscriber whose queue overflowed; it receives nothing
+	// until a keyframe fits again (guarded by Gateway.mu).
+	lost bool
+}
+
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// Begin implements obs.Recorder.
+func (g *Gateway) Begin(int) *obs.IterationSample { return &g.scratch }
+
+// Commit implements obs.Recorder: it publishes the iteration as a delta
+// (or a scheduled keyframe) to every subscriber.
+func (g *Gateway) Commit(s *obs.IterationSample) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	keyframe := !g.have || g.sinceKey >= g.cfg.KeyframeEvery
+	var name string
+	var data []byte
+	if keyframe {
+		g.sinceKey = 0
+		name, data = "keyframe", nil // marshaled after the state update
+	} else {
+		g.sinceKey++
+		d := g.deltaLocked(s)
+		raw, err := json.Marshal(d)
+		if err != nil {
+			return // unreachable: the sample fields are plain numbers
+		}
+		name, data = "delta", raw
+	}
+	g.copyState(s)
+	g.have = true
+	if keyframe {
+		data = g.keyframeLocked()
+		g.m.Keyframes.Inc()
+	} else {
+		g.m.Deltas.Inc()
+	}
+	g.broadcastLocked(name, data)
+}
+
+// Emit implements obs.Sink: trace events stream as "trace" SSE events.
+// Lost subscribers skip them (trace is lossy under backpressure by design;
+// the JSONL trace is the durable record).
+func (g *Gateway) Emit(ev obs.Event) {
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.m.TraceEvents.Inc()
+	g.broadcastLocked("trace", raw)
+}
+
+// copyState deep-copies the committed sample into g.state.
+func (g *Gateway) copyState(s *obs.IterationSample) {
+	mu, sums, avail := g.state.Mu, g.state.ShareSums, g.state.Avail
+	g.state = *s
+	g.state.Mu = append(mu[:0], s.Mu...)
+	g.state.ShareSums = append(sums[:0], s.ShareSums...)
+	g.state.Avail = append(avail[:0], s.Avail...)
+	g.state.Gamma, g.state.Lambda, g.state.KKT = nil, nil, nil
+}
+
+// deltaLocked diffs the incoming sample against the last published state.
+func (g *Gateway) deltaLocked(s *obs.IterationSample) *Delta {
+	d := &Delta{
+		Seq:       g.seq,
+		Iteration: s.Iteration,
+		Utility:   s.Utility,
+		KKTMax:    s.KKTMax,
+		KKTMean:   s.KKTMean,
+		MaxRes:    s.MaxResourceViolation,
+		MaxPath:   s.MaxPathViolationFrac,
+	}
+	d.MuIdx, d.MuVal = diff(g.state.Mu, s.Mu)
+	d.ShareIdx, d.ShareVal = diff(g.state.ShareSums, s.ShareSums)
+	d.AvailIdx, d.AvailVal = diff(g.state.Avail, s.Avail)
+	return d
+}
+
+// diff returns the indexes and values where cur differs from prev
+// (including positions past prev's length).
+func diff(prev, cur []float64) ([]int, []float64) {
+	var idx []int
+	var val []float64
+	for i, v := range cur {
+		if i >= len(prev) || prev[i] != v {
+			idx = append(idx, i)
+			val = append(val, v)
+		}
+	}
+	return idx, val
+}
+
+// keyframeLocked marshals the current state as a keyframe, cached per seq.
+func (g *Gateway) keyframeLocked() []byte {
+	if g.keyCache != nil && g.keySeq == g.seq {
+		return g.keyCache
+	}
+	kf := Keyframe{
+		Seq:       g.seq,
+		Iteration: g.state.Iteration,
+		Utility:   g.state.Utility,
+		KKTMax:    g.state.KKTMax,
+		KKTMean:   g.state.KKTMean,
+		MaxRes:    g.state.MaxResourceViolation,
+		MaxPath:   g.state.MaxPathViolationFrac,
+		Mu:        g.state.Mu,
+		ShareSums: g.state.ShareSums,
+		Avail:     g.state.Avail,
+	}
+	raw, err := json.Marshal(kf)
+	if err != nil {
+		return nil
+	}
+	g.keyCache, g.keySeq = raw, g.seq
+	return raw
+}
+
+// broadcastLocked fans one event out. Lost subscribers are offered a fresh
+// keyframe instead: the keyframe carries the state this event produced, so
+// a successful resync fully repairs the gap.
+func (g *Gateway) broadcastLocked(name string, data []byte) {
+	if data == nil {
+		return
+	}
+	for sub := range g.subs {
+		if sub.lost {
+			if kf := g.keyframeLocked(); g.have && trySend(sub, "keyframe", kf) {
+				sub.lost = false
+				g.m.Resyncs.Inc()
+			}
+			continue
+		}
+		if !trySend(sub, name, data) {
+			sub.lost = true
+			g.m.Dropped.Inc()
+		}
+	}
+}
+
+// trySend enqueues without blocking.
+func trySend(sub *subscriber, name string, data []byte) bool {
+	select {
+	case sub.ch <- sseEvent{name: name, data: data}:
+		return true
+	default:
+		return false
+	}
+}
+
+// subscribe registers a new consumer, seeding it with the current
+// keyframe when one exists.
+func (g *Gateway) subscribe() *subscriber {
+	sub := &subscriber{ch: make(chan sseEvent, g.cfg.QueueLen)}
+	g.mu.Lock()
+	if g.have {
+		trySend(sub, "keyframe", g.keyframeLocked())
+	}
+	g.subs[sub] = struct{}{}
+	g.m.Connections.Set(float64(len(g.subs)))
+	g.mu.Unlock()
+	return sub
+}
+
+// unsubscribe removes a consumer.
+func (g *Gateway) unsubscribe(sub *subscriber) {
+	g.mu.Lock()
+	delete(g.subs, sub)
+	g.m.Connections.Set(float64(len(g.subs)))
+	g.mu.Unlock()
+}
+
+// Handler returns the gateway's HTTP mux (/stream and /state).
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stream", g.handleStream)
+	mux.HandleFunc("/state", g.handleState)
+	return mux
+}
+
+// handleStream serves the SSE event stream.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sub := g.subscribe()
+	defer g.unsubscribe(sub)
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-sub.ch:
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// handleState serves the current keyframe as plain JSON.
+func (g *Gateway) handleState(w http.ResponseWriter, _ *http.Request) {
+	g.mu.Lock()
+	var raw []byte
+	if g.have {
+		raw = append([]byte(nil), g.keyframeLocked()...)
+	}
+	g.mu.Unlock()
+	if raw == nil {
+		http.Error(w, "no state recorded yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
+}
+
+// Serve starts the gateway server on addr (port 0 picks a free port) in a
+// background goroutine, mirroring obs.Serve. Callers own shutdown via
+// srv.Close.
+func Serve(addr string, g *Gateway) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: g.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,262 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lla/internal/obs"
+)
+
+// record pushes one iteration through the Recorder interface the way an
+// engine does: fill the scratch sample Begin hands out, then Commit it.
+func record(g *Gateway, iter int, mu []float64) {
+	s := g.Begin(iter)
+	s.Iteration = iter
+	s.Utility = float64(iter) * 0.5
+	s.KKTMax = 1.0 / float64(iter+1)
+	s.Mu = append(s.Mu[:0], mu...)
+	s.ShareSums = append(s.ShareSums[:0], mu...)
+	s.Avail = append(s.Avail[:0], 10, 10, 10)
+	g.Commit(s)
+}
+
+func drain(t *testing.T, sub *subscriber) sseEvent {
+	t.Helper()
+	select {
+	case ev := <-sub.ch:
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event queued")
+		return sseEvent{}
+	}
+}
+
+func TestKeyframeThenDeltas(t *testing.T) {
+	g := New(Config{KeyframeEvery: 4}, nil)
+	sub := g.subscribe()
+	defer g.unsubscribe(sub)
+
+	record(g, 0, []float64{1, 2, 3})
+	ev := drain(t, sub)
+	if ev.name != "keyframe" {
+		t.Fatalf("first event %q, want keyframe", ev.name)
+	}
+	var kf Keyframe
+	if err := json.Unmarshal(ev.data, &kf); err != nil {
+		t.Fatal(err)
+	}
+	if kf.Seq != 1 || kf.Iteration != 0 || len(kf.Mu) != 3 {
+		t.Fatalf("keyframe %+v", kf)
+	}
+
+	// Only mu[1] changes: the delta must carry exactly that index.
+	record(g, 1, []float64{1, 9, 3})
+	ev = drain(t, sub)
+	if ev.name != "delta" {
+		t.Fatalf("second event %q, want delta", ev.name)
+	}
+	var d Delta
+	if err := json.Unmarshal(ev.data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.MuIdx) != 1 || d.MuIdx[0] != 1 || d.MuVal[0] != 9 {
+		t.Fatalf("delta mu changes %v/%v, want [1]/[9]", d.MuIdx, d.MuVal)
+	}
+	if len(d.AvailIdx) != 0 {
+		t.Fatalf("unchanged avail produced delta entries %v", d.AvailIdx)
+	}
+
+	// KeyframeEvery=4: events 3..5 are deltas, event 6 is a keyframe again.
+	names := []string{}
+	for i := 2; i <= 5; i++ {
+		record(g, i, []float64{1, 9, float64(i)})
+		names = append(names, drain(t, sub).name)
+	}
+	want := []string{"delta", "delta", "delta", "keyframe"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("event sequence %v, want %v", names, want)
+	}
+}
+
+// TestLateSubscriberSeededWithKeyframe: connecting after the run started
+// still yields the current state immediately.
+func TestLateSubscriberSeededWithKeyframe(t *testing.T) {
+	g := New(Config{}, nil)
+	record(g, 0, []float64{1})
+	record(g, 1, []float64{2})
+	sub := g.subscribe()
+	defer g.unsubscribe(sub)
+	ev := drain(t, sub)
+	if ev.name != "keyframe" {
+		t.Fatalf("seed event %q, want keyframe", ev.name)
+	}
+	var kf Keyframe
+	if err := json.Unmarshal(ev.data, &kf); err != nil {
+		t.Fatal(err)
+	}
+	if kf.Iteration != 1 || kf.Mu[0] != 2 {
+		t.Fatalf("seed keyframe %+v, want the latest state", kf)
+	}
+}
+
+// TestSlowConsumerDropsThenResyncs: a queue of 1 overflows, the subscriber
+// is marked lost, and the next broadcast repairs it with a fresh keyframe
+// rather than a delta against state it never saw.
+func TestSlowConsumerDropsThenResyncs(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := New(Config{QueueLen: 1, KeyframeEvery: 1000}, reg)
+	sub := g.subscribe()
+	defer g.unsubscribe(sub)
+
+	record(g, 0, []float64{1}) // fills the queue (keyframe)
+	record(g, 1, []float64{2}) // overflows: dropped, sub marked lost
+	record(g, 2, []float64{3}) // resync attempt, but the queue is still full
+
+	if got := reg.Counter("lla_gateway_dropped_events_total", "").Value(); got == 0 {
+		t.Fatal("overflow recorded no drop")
+	}
+	ev := drain(t, sub) // consume the seq-1 keyframe, freeing the queue
+	if ev.name != "keyframe" {
+		t.Fatalf("first event %q", ev.name)
+	}
+
+	record(g, 3, []float64{4}) // resync now fits
+	ev = drain(t, sub)
+	if ev.name != "keyframe" {
+		t.Fatalf("resync event %q, want keyframe (got a delta against unseen state)", ev.name)
+	}
+	var kf Keyframe
+	if err := json.Unmarshal(ev.data, &kf); err != nil {
+		t.Fatal(err)
+	}
+	if kf.Mu[0] != 4 {
+		t.Fatalf("resync keyframe mu %v, want the post-gap state 4", kf.Mu)
+	}
+	if got := reg.Counter("lla_gateway_resyncs_total", "").Value(); got != 1 {
+		t.Fatalf("resyncs = %d, want 1", got)
+	}
+
+	// Back in sync: the next commit is an ordinary delta again.
+	record(g, 4, []float64{5})
+	if ev := drain(t, sub); ev.name != "delta" {
+		t.Fatalf("post-resync event %q, want delta", ev.name)
+	}
+}
+
+func TestTraceEventsBroadcast(t *testing.T) {
+	g := New(Config{}, nil)
+	sub := g.subscribe()
+	defer g.unsubscribe(sub)
+	g.Emit(obs.Event{Kind: "admission", Task: "alpha", Value: 1})
+	ev := drain(t, sub)
+	if ev.name != "trace" {
+		t.Fatalf("event %q, want trace", ev.name)
+	}
+	var e obs.Event
+	if err := json.Unmarshal(ev.data, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "admission" || e.Task != "alpha" {
+		t.Fatalf("trace payload %+v", e)
+	}
+}
+
+func TestStateEndpoint(t *testing.T) {
+	g := New(Config{}, nil)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("empty gateway /state = %d, want 404", resp.StatusCode)
+	}
+
+	record(g, 3, []float64{7})
+	resp, err = http.Get(srv.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var kf Keyframe
+	if err := json.NewDecoder(resp.Body).Decode(&kf); err != nil {
+		t.Fatal(err)
+	}
+	if kf.Iteration != 3 || kf.Mu[0] != 7 {
+		t.Fatalf("/state keyframe %+v", kf)
+	}
+}
+
+// TestStreamEndpoint drives a real SSE connection end to end.
+func TestStreamEndpoint(t *testing.T) {
+	g := New(Config{}, nil)
+	record(g, 0, []float64{1, 2})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	type line struct {
+		s   string
+		err error
+	}
+	lines := make(chan line)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- line{s: sc.Text()}
+		}
+		lines <- line{err: sc.Err()}
+	}()
+	readLine := func() string {
+		select {
+		case l := <-lines:
+			if l.err != nil {
+				t.Fatal(l.err)
+			}
+			return l.s
+		case <-time.After(5 * time.Second):
+			t.Fatal("SSE read timed out")
+			return ""
+		}
+	}
+
+	if got := readLine(); got != "event: keyframe" {
+		t.Fatalf("first SSE line %q", got)
+	}
+	data := readLine()
+	if !strings.HasPrefix(data, "data: ") {
+		t.Fatalf("second SSE line %q", data)
+	}
+	var kf Keyframe
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(data, "data: ")), &kf); err != nil {
+		t.Fatal(err)
+	}
+	if len(kf.Mu) != 2 {
+		t.Fatalf("streamed keyframe %+v", kf)
+	}
+	if got := readLine(); got != "" {
+		t.Fatalf("SSE separator %q, want blank", got)
+	}
+
+	// A commit after connect arrives as a delta on the open stream.
+	record(g, 1, []float64{1, 5})
+	if got := readLine(); got != "event: delta" {
+		t.Fatalf("next SSE event %q", got)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+// Fan-out adapters: a component accepts one Recorder and one Sink, but a
+// run may want both a JSONL trace and the live SSE gateway attached.
+
+// multiRecorder fans Begin/Commit out to several recorders. It owns one
+// scratch sample the component fills; Commit deep-copies it into each
+// sub-recorder's own Begin sample, preserving every recorder's slice-reuse
+// contract.
+type multiRecorder struct {
+	rs      []Recorder
+	scratch IterationSample
+	active  []Recorder
+	pending []*IterationSample
+}
+
+// MultiRecorder composes recorders into one. Nil entries are dropped; the
+// result is nil for an empty set and the recorder itself for a single one.
+// Like any Recorder, the composite must be attached to at most one engine.
+func MultiRecorder(rs ...Recorder) Recorder {
+	kept := make([]Recorder, 0, len(rs))
+	for _, r := range rs {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &multiRecorder{rs: kept}
+}
+
+// Begin implements Recorder: it returns the shared scratch sample unless
+// every sub-recorder downsampled the iteration away.
+func (m *multiRecorder) Begin(iteration int) *IterationSample {
+	m.active, m.pending = m.active[:0], m.pending[:0]
+	for _, r := range m.rs {
+		if s := r.Begin(iteration); s != nil {
+			m.active = append(m.active, r)
+			m.pending = append(m.pending, s)
+		}
+	}
+	if len(m.active) == 0 {
+		return nil
+	}
+	return &m.scratch
+}
+
+// Commit implements Recorder.
+func (m *multiRecorder) Commit(s *IterationSample) {
+	for i, r := range m.active {
+		m.pending[i].copyFrom(s)
+		r.Commit(m.pending[i])
+	}
+}
+
+// multiSink fans Emit out to several sinks.
+type multiSink struct{ sinks []Sink }
+
+// MultiSink composes sinks into one. Nil entries are dropped; the result
+// is nil for an empty set and the sink itself for a single one.
+func MultiSink(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &multiSink{sinks: kept}
+}
+
+// Emit implements Sink.
+func (m *multiSink) Emit(ev Event) {
+	for _, s := range m.sinks {
+		s.Emit(ev)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"testing"
+)
+
+// recordIter drives one Begin/Commit cycle the way an engine does.
+func recordIter(t *testing.T, r Recorder, iter int, mu float64) {
+	t.Helper()
+	s := r.Begin(iter)
+	if s == nil {
+		return
+	}
+	s.Iteration = iter
+	s.Utility = mu * 10
+	s.Mu = append(s.Mu[:0], mu)
+	r.Commit(s)
+}
+
+func TestMultiRecorderFansOut(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	m := MultiRecorder(a, b)
+	for i := 0; i < 3; i++ {
+		recordIter(t, m, i, float64(i))
+	}
+	for name, ring := range map[string]*Ring{"a": a, "b": b} {
+		if ring.Len() != 3 {
+			t.Fatalf("ring %s recorded %d samples, want 3", name, ring.Len())
+		}
+		last, ok := ring.Last()
+		if !ok || last.Iteration != 2 || last.Mu[0] != 2 {
+			t.Fatalf("ring %s last sample %+v", name, last)
+		}
+	}
+}
+
+// TestMultiRecorderRespectsDownsampling: a sub-recorder that declines an
+// iteration (Begin returning nil) is skipped while the others still record,
+// and when every sub-recorder declines the composite declines too.
+func TestMultiRecorderRespectsDownsampling(t *testing.T) {
+	every := NewRing(8)
+	sparse := NewRing(8)
+	sparse.Every = 2
+	m := MultiRecorder(every, sparse)
+	for i := 0; i < 4; i++ {
+		recordIter(t, m, i, float64(i))
+	}
+	if every.Len() != 4 {
+		t.Fatalf("dense ring got %d samples, want 4", every.Len())
+	}
+	if sparse.Len() != 2 {
+		t.Fatalf("sparse ring got %d samples, want 2", sparse.Len())
+	}
+
+	only := NewRing(8)
+	only.Every = 2
+	m = MultiRecorder(only)
+	if m != Recorder(only) {
+		t.Fatal("single-recorder composite should be the recorder itself")
+	}
+	lone := MultiRecorder(nil, only, nil)
+	if s := lone.Begin(1); s != nil {
+		t.Fatal("composite did not propagate unanimous downsampling")
+	}
+}
+
+func TestMultiRecorderDeepCopies(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	m := MultiRecorder(a, b)
+	recordIter(t, m, 0, 1)
+	recordIter(t, m, 1, 2)
+	la, _ := a.Last()
+	lb, _ := b.Last()
+	la.Mu[0] = -99
+	if lb.Mu[0] != 2 {
+		t.Fatal("rings share slice memory")
+	}
+}
+
+func TestMultiRecorderEmptyAndNil(t *testing.T) {
+	if MultiRecorder() != nil {
+		t.Fatal("empty composite should be nil")
+	}
+	if MultiRecorder(nil, nil) != nil {
+		t.Fatal("all-nil composite should be nil")
+	}
+	r := NewRing(1)
+	if MultiRecorder(nil, r) != Recorder(r) {
+		t.Fatal("single survivor should be returned directly")
+	}
+}
+
+type captureSink struct{ events []Event }
+
+func (c *captureSink) Emit(ev Event) { c.events = append(c.events, ev) }
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := &captureSink{}, &captureSink{}
+	s := MultiSink(a, nil, b)
+	s.Emit(Event{Kind: EventConverged, Value: 42})
+	if len(a.events) != 1 || len(b.events) != 1 {
+		t.Fatalf("fan-out delivered %d/%d events, want 1/1", len(a.events), len(b.events))
+	}
+	if a.events[0].Value != 42 || b.events[0].Kind != EventConverged {
+		t.Fatalf("payload corrupted: %+v / %+v", a.events[0], b.events[0])
+	}
+	if MultiSink(nil) != nil {
+		t.Fatal("all-nil sink composite should be nil")
+	}
+	if MultiSink(a) != Sink(a) {
+		t.Fatal("single sink should be returned directly")
+	}
+}

@@ -204,6 +204,74 @@ func NewDistMetrics(r *Registry) *DistMetrics {
 	}
 }
 
+// WireMetrics is the binary wire codec's metric set (PROTOCOL.md): frame
+// and byte volume per direction, RAW escape-hatch frames, decode failures,
+// and the outcome of per-connection codec negotiations.
+type WireMetrics struct {
+	// FramesEncoded/FramesDecoded count binary frames produced and
+	// consumed.
+	FramesEncoded *Counter
+	FramesDecoded *Counter
+	// BytesEncoded/BytesDecoded count whole-frame bytes (header, body and
+	// CRC trailer) per direction.
+	BytesEncoded *Counter
+	BytesDecoded *Counter
+	// RawFrames counts messages that rode the RAW escape hatch because
+	// their kind or payload shape has no dedicated frame type.
+	RawFrames *Counter
+	// DecodeErrors counts frames rejected by the defensive decoder (bad
+	// magic/version, CRC mismatch, malformed body).
+	DecodeErrors *Counter
+	// NegotiatedBinary/NegotiatedJSON count handshakes by outcome: JSON
+	// covers version skew, dictionary mismatch, and pre-codec peers.
+	NegotiatedBinary *Counter
+	NegotiatedJSON   *Counter
+}
+
+// NewWireMetrics registers the wire codec metric set on r.
+func NewWireMetrics(r *Registry) *WireMetrics {
+	return &WireMetrics{
+		FramesEncoded:    r.Counter("lla_wire_frames_total", "Binary frames, by direction.", "dir", "encode"),
+		FramesDecoded:    r.Counter("lla_wire_frames_total", "Binary frames, by direction.", "dir", "decode"),
+		BytesEncoded:     r.Counter("lla_wire_bytes_total", "Binary frame bytes, by direction.", "dir", "encode"),
+		BytesDecoded:     r.Counter("lla_wire_bytes_total", "Binary frame bytes, by direction.", "dir", "decode"),
+		RawFrames:        r.Counter("lla_wire_raw_frames_total", "Messages carried by the RAW escape-hatch frame."),
+		DecodeErrors:     r.Counter("lla_wire_decode_errors_total", "Frames rejected by the defensive decoder."),
+		NegotiatedBinary: r.Counter("lla_wire_negotiations_total", "Codec negotiations, by outcome.", "outcome", "binary"),
+		NegotiatedJSON:   r.Counter("lla_wire_negotiations_total", "Codec negotiations, by outcome.", "outcome", "json"),
+	}
+}
+
+// GatewayMetrics is the streaming control-plane gateway's metric set:
+// connection count, emitted event volume by type, and the backpressure
+// counters (events dropped on slow consumers, keyframe resyncs that
+// repaired them).
+type GatewayMetrics struct {
+	// Connections is the number of live /stream subscribers.
+	Connections *Gauge
+	// Keyframes/Deltas/TraceEvents count emitted events by type.
+	Keyframes   *Counter
+	Deltas      *Counter
+	TraceEvents *Counter
+	// Dropped counts events discarded because a subscriber's queue was
+	// full; the subscriber is marked lost until a keyframe resync.
+	Dropped *Counter
+	// Resyncs counts keyframe resyncs delivered to lost subscribers.
+	Resyncs *Counter
+}
+
+// NewGatewayMetrics registers the gateway metric set on r.
+func NewGatewayMetrics(r *Registry) *GatewayMetrics {
+	return &GatewayMetrics{
+		Connections: r.Gauge("lla_gateway_connections", "Live SSE stream subscribers."),
+		Keyframes:   r.Counter("lla_gateway_events_total", "Emitted gateway events, by type.", "type", "keyframe"),
+		Deltas:      r.Counter("lla_gateway_events_total", "Emitted gateway events, by type.", "type", "delta"),
+		TraceEvents: r.Counter("lla_gateway_events_total", "Emitted gateway events, by type.", "type", "trace"),
+		Dropped:     r.Counter("lla_gateway_dropped_events_total", "Events discarded on slow subscribers."),
+		Resyncs:     r.Counter("lla_gateway_resyncs_total", "Keyframe resyncs delivered to lost subscribers."),
+	}
+}
+
 // RecoverMetrics is the crash-recovery metric set: checkpoint writes,
 // restores, the coordinator generation, and the fencing/rejoin counters that
 // prove a dead generation stayed dead.

@@ -1,0 +1,223 @@
+// Codec negotiation tests live in an external test package so they can use
+// the real internal/wire codec (wire imports transport, so an in-package
+// test would cycle).
+package transport_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lla/internal/obs"
+	"lla/internal/transport"
+	"lla/internal/wire"
+)
+
+// reservePort grabs a free localhost port. There is a tiny window before
+// the test rebinds it; acceptable for a local test.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := ln.Addr().String()
+	ln.Close()
+	return hp
+}
+
+func recvMsg(t *testing.T, ch <-chan transport.Message) transport.Message {
+	t.Helper()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return m
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+	return transport.Message{}
+}
+
+type pricePayload struct {
+	Round    int     `json:"round"`
+	Resource string  `json:"resource"`
+	Mu       float64 `json:"mu,omitempty"`
+}
+
+// exchange sends one price payload a->b and one b->a and asserts both
+// arrive intact.
+func exchange(t *testing.T, a, b transport.Endpoint) {
+	t.Helper()
+	want := pricePayload{Round: 7, Resource: "cpu0", Mu: 1.5}
+	if err := a.Send(b.Addr(), "price", want); err != nil {
+		t.Fatalf("a->b send: %v", err)
+	}
+	m := recvMsg(t, b.Recv())
+	var got pricePayload
+	if err := m.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if m.From != a.Addr() || m.Kind != "price" || got != want {
+		t.Fatalf("a->b got %+v via %+v", got, m)
+	}
+	if err := b.Send(a.Addr(), "hello", map[string]int{"n": 1}); err != nil {
+		t.Fatalf("b->a send: %v", err)
+	}
+	if m := recvMsg(t, a.Recv()); m.Kind != "hello" {
+		t.Fatalf("b->a got kind %q", m.Kind)
+	}
+}
+
+// negotiations reads the lla_wire_negotiations_total counter by outcome.
+func negotiations(reg *obs.Registry, outcome string) int64 {
+	return reg.Counter("lla_wire_negotiations_total", "Codec negotiations, by outcome.", "outcome", outcome).Value()
+}
+
+func TestTCPBinaryCodecEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	codec := wire.NewCodec(nil)
+	codec.Observe(reg)
+	n := transport.NewTCP(map[string]string{"a": "127.0.0.1:0", "b": "127.0.0.1:0"})
+	n.SetCodec(codec)
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	exchange(t, a, b)
+	if got := negotiations(reg, "binary"); got == 0 {
+		t.Fatal("no binary negotiation recorded")
+	}
+	frames := reg.Counter("lla_wire_frames_total", "Binary frames, by direction.", "dir", "decode").Value()
+	if frames == 0 {
+		t.Fatal("no binary frames decoded; traffic fell back to JSON")
+	}
+}
+
+// TestTCPCodecClientLegacyServer: a codec-enabled client dialing a
+// pre-codec server sees its hello rejected (the magic reads as an invalid
+// frame length), redials, and interoperates on JSON.
+func TestTCPCodecClientLegacyServer(t *testing.T) {
+	srvPort := reservePort(t)
+	cliPort := reservePort(t)
+
+	srvNet := transport.NewTCP(map[string]string{"srv": srvPort, "cli": cliPort})
+	srv, err := srvNet.Endpoint("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	codec := wire.NewCodec(nil)
+	codec.Observe(reg)
+	cliNet := transport.NewTCP(map[string]string{"srv": srvPort, "cli": cliPort})
+	cliNet.SetCodec(codec)
+	cli, err := cliNet.Endpoint("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	exchange(t, cli, srv)
+	if got := negotiations(reg, "json"); got == 0 {
+		t.Fatal("no JSON fallback recorded")
+	}
+	if got := negotiations(reg, "binary"); got != 0 {
+		t.Fatalf("binary negotiation against a legacy server: %d", got)
+	}
+}
+
+// TestTCPLegacyClientCodecServer: a pre-codec client's first bytes are a
+// JSON length prefix; the codec-enabled server sniffs, finds no hello, and
+// serves legacy framing.
+func TestTCPLegacyClientCodecServer(t *testing.T) {
+	srvPort := reservePort(t)
+	cliPort := reservePort(t)
+
+	srvNet := transport.NewTCP(map[string]string{"srv": srvPort, "cli": cliPort})
+	srvNet.SetCodec(wire.NewCodec(nil))
+	srv, err := srvNet.Endpoint("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cliNet := transport.NewTCP(map[string]string{"srv": srvPort, "cli": cliPort})
+	cli, err := cliNet.Endpoint("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	exchange(t, cli, srv)
+}
+
+// TestTCPDictMismatchNegotiatesJSON: peers with disagreeing dictionaries
+// complete the handshake (no redial) but agree to speak JSON.
+func TestTCPDictMismatchNegotiatesJSON(t *testing.T) {
+	srvPort := reservePort(t)
+	cliPort := reservePort(t)
+
+	dictA, err := wire.NewDict([]string{"cpu0"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dictB, err := wire.NewDict([]string{"gpu9"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvNet := transport.NewTCP(map[string]string{"srv": srvPort, "cli": cliPort})
+	srvNet.SetCodec(wire.NewCodec(dictA))
+	srv, err := srvNet.Endpoint("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	codec := wire.NewCodec(dictB)
+	codec.Observe(reg)
+	cliNet := transport.NewTCP(map[string]string{"srv": srvPort, "cli": cliPort})
+	cliNet.SetCodec(codec)
+	cli, err := cliNet.Endpoint("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	exchange(t, cli, srv)
+	if got := negotiations(reg, "json"); got == 0 {
+		t.Fatal("dictionary mismatch did not record a JSON negotiation")
+	}
+}
+
+// TestInprocCodecRoundTrip: Inproc.SetCodec pushes every delivery through
+// the binary encode/decode cycle.
+func TestInprocCodecRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	codec := wire.NewCodec(nil)
+	codec.Observe(reg)
+	n := transport.NewInproc(transport.InprocConfig{})
+	n.SetCodec(codec)
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exchange(t, a, b)
+	if reg.Counter("lla_wire_frames_total", "Binary frames, by direction.", "dir", "decode").Value() == 0 {
+		t.Fatal("inproc deliveries bypassed the codec")
+	}
+}

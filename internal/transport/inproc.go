@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
 	"sync"
 	"time"
@@ -32,6 +34,10 @@ type Inproc struct {
 	cfg InprocConfig
 
 	inj *injector
+	// codec, when set, round-trips every delivery through an encode/decode
+	// cycle, so in-process runs exercise exactly the bytes a TCP deployment
+	// would ship (the wire-codec chaos tests rely on this).
+	codec Codec
 
 	mu        sync.Mutex
 	endpoints map[string]*inprocEndpoint
@@ -74,8 +80,22 @@ func (n *Inproc) Endpoint(addr string) (Endpoint, error) {
 // Wait blocks until all in-flight delayed deliveries have settled.
 func (n *Inproc) Wait() { n.wg.Wait() }
 
+// SetCodec makes every delivery round-trip through the codec's frame
+// encoding. Set before any endpoint sends; the codec must be safe for
+// concurrent use (deliveries run on sender goroutines).
+func (n *Inproc) SetCodec(c Codec) { n.codec = c }
+
 // deliver routes a message, applying the injector's loss and delay plan.
 func (n *Inproc) deliver(msg Message) error {
+	if n.codec != nil {
+		frame, err := n.codec.Encode(msg)
+		if err != nil {
+			return fmt.Errorf("transport: inproc codec encode: %w", err)
+		}
+		if msg, err = n.codec.Read(bufio.NewReader(bytes.NewReader(frame))); err != nil {
+			return fmt.Errorf("transport: inproc codec decode: %w", err)
+		}
+	}
 	n.mu.Lock()
 	dst, ok := n.endpoints[msg.To]
 	n.mu.Unlock()

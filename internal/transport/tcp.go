@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
@@ -35,6 +36,12 @@ type TCP struct {
 	// backoff plus jitter between attempts (the peer may be restarting).
 	// Zero falls back to a single immediate reconnect attempt.
 	SendRetryWindow time.Duration
+	// codec, when set, is negotiated per connection: outbound dials send
+	// its hello and fall back to JSON framing if the peer declines or
+	// predates it; inbound connections are sniffed for a hello and served
+	// legacy JSON when none arrives. Set via SetCodec before creating
+	// endpoints.
+	codec Codec
 }
 
 var _ Network = (*TCP)(nil)
@@ -49,6 +56,12 @@ func NewTCP(registry map[string]string) *TCP {
 	}
 	return &TCP{registry: r, dialTimeout: 5 * time.Second, DialRetryWindow: 15 * time.Second, SendRetryWindow: 10 * time.Second}
 }
+
+// SetCodec installs a frame codec (e.g. the internal/wire binary codec) to
+// negotiate on every connection. Call before creating endpoints; the
+// fallback handshake keeps codec-enabled processes interoperable with
+// plain-JSON ones in either direction.
+func (t *TCP) SetCodec(c Codec) { t.codec = c }
 
 // Register maps a logical address to a host:port.
 func (t *TCP) Register(addr, hostport string) {
@@ -81,13 +94,14 @@ func (t *TCP) Endpoint(addr string) (Endpoint, error) {
 	}
 	t.Register(addr, ln.Addr().String())
 	ep := &tcpEndpoint{
-		net:     t,
-		addr:    addr,
-		ln:      ln,
-		in:      make(chan Message, 1024),
-		conns:   make(map[string]net.Conn),
-		inbound: make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
+		net:      t,
+		addr:     addr,
+		ln:       ln,
+		in:       make(chan Message, 1024),
+		conns:    make(map[string]*tcpConn),
+		jsonOnly: make(map[string]bool),
+		inbound:  make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -105,10 +119,21 @@ type tcpEndpoint struct {
 
 	mu sync.Mutex
 	// conns caches outbound connections by destination name; inbound holds
-	// accepted connections so Close can unblock their readers.
-	conns   map[string]net.Conn
-	inbound map[net.Conn]struct{}
-	closed  bool
+	// accepted connections so Close can unblock their readers. jsonOnly
+	// remembers destinations whose handshake failed outright (a pre-codec
+	// peer closes on the hello), so reconnects skip straight to JSON.
+	conns    map[string]*tcpConn
+	jsonOnly map[string]bool
+	inbound  map[net.Conn]struct{}
+	closed   bool
+}
+
+// tcpConn is one outbound connection plus its negotiated framing mode.
+type tcpConn struct {
+	nc net.Conn
+	// binary is true when the codec handshake agreed on binary frames;
+	// false speaks legacy length-prefixed JSON.
+	binary bool
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
@@ -137,7 +162,11 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
-// readLoop decodes frames from one connection into the inbox.
+// readLoop decodes frames from one connection into the inbox. With a codec
+// installed, the connection's first four bytes are sniffed: a codec hello
+// runs the negotiation handshake, anything else (a legacy JSON length
+// prefix) is served the plain JSON framing — Peek does not consume, so the
+// legacy path re-reads those same bytes as its first frame.
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -146,8 +175,36 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		delete(e.inbound, conn)
 		e.mu.Unlock()
 	}()
+	br := bufio.NewReader(conn)
+	cod := e.net.codec
+	negotiated := false
+	if cod != nil {
+		prefix, err := br.Peek(4)
+		if err != nil {
+			return
+		}
+		if cod.Sniff(prefix) {
+			if _, err := br.Discard(4); err != nil {
+				return
+			}
+			ack, ok, err := cod.Accept(prefix, br)
+			if err != nil {
+				return // corrupt hello: drop the connection
+			}
+			if _, err := conn.Write(ack); err != nil {
+				return
+			}
+			negotiated = ok
+		}
+	}
 	for {
-		msg, err := readFrame(conn)
+		var msg Message
+		var err error
+		if negotiated {
+			msg, err = readNegotiated(br, cod)
+		} else {
+			msg, err = readFrame(br)
+		}
 		if err != nil {
 			return
 		}
@@ -157,6 +214,22 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// readNegotiated reads one frame from a binary-negotiated connection.
+// Binary streams may interleave legacy JSON frames (e.g. a payload the
+// codec declined to encode): the first byte discriminates, because a JSON
+// frame's big-endian length prefix starts with 0x00 under the 16 MiB cap
+// while binary frames start with the codec's nonzero magic.
+func readNegotiated(br *bufio.Reader, cod Codec) (Message, error) {
+	b, err := br.Peek(1)
+	if err != nil {
+		return Message{}, err
+	}
+	if b[0] == 0 {
+		return readFrame(br)
+	}
+	return cod.Read(br)
 }
 
 // Send implements Endpoint. Connections are cached per destination; a write
@@ -175,11 +248,7 @@ func (e *tcpEndpoint) Send(to, kind string, payload any) error {
 	if err != nil {
 		return err
 	}
-	frame, err := encodeFrame(msg)
-	if err != nil {
-		return err
-	}
-	err = e.write(to, frame)
+	err = e.writeMsg(to, msg)
 	if err == nil {
 		return nil
 	}
@@ -195,7 +264,7 @@ func (e *tcpEndpoint) Send(to, kind string, payload any) error {
 		if attempt > 0 {
 			time.Sleep(Backoff(attempt-1, 25*time.Millisecond, time.Second))
 		}
-		if err = e.write(to, frame); err == nil {
+		if err = e.writeMsg(to, msg); err == nil {
 			return nil
 		}
 	}
@@ -208,40 +277,90 @@ func (e *tcpEndpoint) isClosed() bool {
 	return e.closed
 }
 
-// write sends a frame over the cached (or freshly dialed) connection.
-func (e *tcpEndpoint) write(to string, frame []byte) error {
-	conn, err := e.conn(to)
+// writeMsg encodes the message for the destination's negotiated framing
+// and writes it. Encoding happens per attempt because a reconnect can
+// renegotiate the mode (e.g. the peer restarted as a different build).
+func (e *tcpEndpoint) writeMsg(to string, msg Message) error {
+	c, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	var frame []byte
+	if c.binary {
+		frame, err = e.net.codec.Encode(msg)
+		if err != nil {
+			// Unencodable payload: interleave a legacy JSON frame — binary
+			// readers discriminate frames by first byte (see readNegotiated).
+			frame, err = encodeFrame(msg)
+		}
+	} else {
+		frame, err = encodeFrame(msg)
+	}
 	if err != nil {
 		return err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	_, err = conn.Write(frame)
+	_, err = c.nc.Write(frame)
 	return err
 }
 
-// conn returns the cached connection to the destination, dialing if needed.
-func (e *tcpEndpoint) conn(to string) (net.Conn, error) {
+// conn returns the cached connection to the destination, dialing (and
+// running the codec handshake) if needed.
+func (e *tcpEndpoint) conn(to string) (*tcpConn, error) {
 	e.mu.Lock()
 	if c, ok := e.conns[to]; ok {
 		e.mu.Unlock()
 		return c, nil
 	}
+	jsonOnly := e.jsonOnly[to]
 	e.mu.Unlock()
 
+	nc, err := e.dial(to)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{nc: nc}
+	if cod := e.net.codec; cod != nil && !jsonOnly {
+		ok, herr := clientHandshake(nc, cod, e.net.dialTimeout)
+		if herr != nil {
+			// The peer is a pre-codec build: it read the hello as an
+			// invalid frame and closed. Remember, redial, speak JSON.
+			nc.Close()
+			e.mu.Lock()
+			e.jsonOnly[to] = true
+			e.mu.Unlock()
+			return e.conn(to)
+		}
+		c.binary = ok
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		nc.Close()
+		return nil, fmt.Errorf("transport: endpoint %q closed", e.addr)
+	}
+	if prev, ok := e.conns[to]; ok {
+		// Lost a dial race; keep the first connection.
+		nc.Close()
+		return prev, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+// dial opens a raw connection to the destination, retrying refused dials
+// within the window: the peer process may simply not have bound its
+// listener yet (deployments start in any order).
+func (e *tcpEndpoint) dial(to string) (net.Conn, error) {
 	hp, err := e.net.lookup(to)
 	if err != nil {
 		return nil, err
 	}
 	c, err := net.DialTimeout("tcp", hp, e.net.dialTimeout)
-	// Retry refused dials within the window: the peer process may simply
-	// not have bound its listener yet (deployments start in any order).
 	deadline := time.Now().Add(e.net.DialRetryWindow)
 	for err != nil && time.Now().Before(deadline) {
-		e.mu.Lock()
-		closed := e.closed
-		e.mu.Unlock()
-		if closed {
+		if e.isClosed() {
 			break
 		}
 		time.Sleep(100 * time.Millisecond)
@@ -250,19 +369,22 @@ func (e *tcpEndpoint) conn(to string) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %q (%s): %w", to, hp, err)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		c.Close()
-		return nil, fmt.Errorf("transport: endpoint %q closed", e.addr)
-	}
-	if prev, ok := e.conns[to]; ok {
-		// Lost a dial race; keep the first connection.
-		c.Close()
-		return prev, nil
-	}
-	e.conns[to] = c
 	return c, nil
+}
+
+// clientHandshake writes the codec hello and waits (bounded) for the ack.
+func clientHandshake(nc net.Conn, cod Codec, timeout time.Duration) (bool, error) {
+	if _, err := nc.Write(cod.Hello()); err != nil {
+		return false, err
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	if err := nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return false, err
+	}
+	defer nc.SetReadDeadline(time.Time{})
+	return cod.ReadAck(nc)
 }
 
 // dropConn evicts a broken cached connection.
@@ -270,7 +392,7 @@ func (e *tcpEndpoint) dropConn(to string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if c, ok := e.conns[to]; ok {
-		c.Close()
+		c.nc.Close()
 		delete(e.conns, to)
 	}
 }
@@ -287,7 +409,7 @@ func (e *tcpEndpoint) Close() error {
 	}
 	e.closed = true
 	for _, c := range e.conns {
-		c.Close()
+		c.nc.Close()
 	}
 	for c := range e.inbound {
 		c.Close()

@@ -11,8 +11,10 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 )
 
 // Message is a routed envelope. Payload is JSON so that both network
@@ -54,6 +56,38 @@ type Network interface {
 	// Endpoint registers (or returns an error for a duplicate) the named
 	// endpoint.
 	Endpoint(addr string) (Endpoint, error)
+}
+
+// Codec is a pluggable frame codec for networks that move Messages over
+// byte streams. internal/wire implements it with the binary protocol of
+// PROTOCOL.md; the transport package itself stays codec-agnostic: TCP
+// negotiates the codec per connection via the Sniff/Hello/Accept/ReadAck
+// handshake and falls back to the legacy length-prefixed JSON framing with
+// any peer that declines (or predates) it, and Inproc can round-trip every
+// delivery through a codec so in-process tests exercise the same bytes.
+//
+// Implementations must be safe for concurrent use by every connection of a
+// process.
+type Codec interface {
+	// Name identifies the codec (e.g. "binary") for flags and logs.
+	Name() string
+	// Encode renders one message as a self-delimiting frame.
+	Encode(m Message) ([]byte, error)
+	// Read consumes exactly one frame from r and reconstructs the message.
+	Read(r *bufio.Reader) (Message, error)
+	// Hello returns the fixed-size client handshake blob written once
+	// after dialing.
+	Hello() []byte
+	// ReadAck parses the server's handshake answer; ok=false negotiates
+	// the JSON fallback. An error (e.g. a pre-codec peer closing the
+	// connection) tells the dialer to reconnect and speak JSON.
+	ReadAck(r io.Reader) (ok bool, err error)
+	// Sniff reports whether a connection's first four bytes begin a codec
+	// hello (as opposed to a legacy JSON length prefix).
+	Sniff(prefix []byte) bool
+	// Accept consumes the rest of a sniffed hello from r and returns the
+	// ack to write back; ok reports whether binary framing was agreed.
+	Accept(prefix []byte, r io.Reader) (ack []byte, ok bool, err error)
 }
 
 // encode marshals a payload once, shared by the implementations.

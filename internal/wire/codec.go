@@ -1,0 +1,379 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lla/internal/obs"
+	"lla/internal/transport"
+)
+
+// Codec is the binary frame codec. It is stateless apart from metrics, so
+// one Codec instance can serve every connection of a process concurrently.
+// The zero value is not usable; construct with NewCodec.
+type Codec struct {
+	dict *Dict
+	// minVersion..maxVersion is the advertised negotiation range; production
+	// codecs use MinVersion..Version, tests skew them to exercise fallback.
+	minVersion, maxVersion byte
+
+	m *obs.WireMetrics
+}
+
+var _ transport.Codec = (*Codec)(nil)
+
+// NewCodec returns a codec using the given dictionary (nil for inline
+// string ids). Call Observe to attach metrics.
+func NewCodec(d *Dict) *Codec {
+	return &Codec{dict: d, minVersion: MinVersion, maxVersion: Version, m: &obs.WireMetrics{}}
+}
+
+// Observe registers the lla_wire_* metric set on reg (nil is a no-op).
+func (c *Codec) Observe(reg *obs.Registry) {
+	if reg != nil {
+		c.m = obs.NewWireMetrics(reg)
+	}
+}
+
+// Name implements transport.Codec.
+func (c *Codec) Name() string { return "binary" }
+
+// Encode implements transport.Codec: it renders one message as a binary
+// frame. Messages whose kind or payload shape the codec does not model ride
+// a RAW frame (kind string + verbatim JSON payload), so Encode fails only
+// on oversize or non-finite inputs.
+func (c *Codec) Encode(m transport.Message) ([]byte, error) {
+	ft, flags, body, err := c.encodeBody(m, c.dict != nil)
+	if errors.Is(err, errDictMiss) {
+		// A name outside the negotiated dictionary (e.g. an ad-hoc client
+		// address): re-encode the whole frame with inline strings.
+		ft, flags, body, err = c.encodeBody(m, false)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxBodyBytes {
+		return nil, fmt.Errorf("wire: frame body of %d bytes exceeds limit", len(body))
+	}
+	frame := make([]byte, 0, 4+binary.MaxVarintLen32+len(body)+4)
+	frame = append(frame, FrameMagic, Version, ft, flags)
+	frame = binary.AppendUvarint(frame, uint64(len(body)))
+	frame = append(frame, body...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+	c.m.FramesEncoded.Inc()
+	c.m.BytesEncoded.Add(int64(len(frame)))
+	if ft == FrameRaw {
+		c.m.RawFrames.Inc()
+	}
+	return frame, nil
+}
+
+// encodeBody renders the frame body, choosing the frame type from the
+// message kind and payload shape.
+func (c *Codec) encodeBody(m transport.Message, dict bool) (ft, flags byte, body []byte, err error) {
+	e := &enc{}
+	c.addr(e, m.From, dict)
+	c.addr(e, m.To, dict)
+	batch := false
+	switch m.Kind {
+	case KindPrice:
+		if ps, isBatch, ok := parsePayload[PriceUpdate](m.Payload); ok {
+			ft, batch = FramePrice, isBatch
+			c.encPrice(e, ps, dict)
+		}
+	case KindLatency:
+		if ss, isBatch, ok := parsePayload[ShareReport](m.Payload); ok {
+			ft, batch = FrameLatency, isBatch
+			c.encLatency(e, ss, dict)
+		}
+	case KindReport:
+		if rs, isBatch, ok := parsePayload[UtilityReport](m.Payload); ok && !isBatch {
+			ft = FrameReport
+			r := &rs[0]
+			c.taskRef(e, r.Task, dict)
+			e.svarint(int64(r.Round))
+			e.uvarint(r.Epoch)
+			e.f64(r.Utility)
+		}
+	case KindStop:
+		if vs, isBatch, ok := parsePayload[Stop](m.Payload); ok && !isBatch {
+			ft = FrameStop
+			e.svarint(int64(vs[0].AfterRound))
+			e.uvarint(vs[0].Epoch)
+		}
+	case KindFin:
+		if vs, isBatch, ok := parsePayload[Fin](m.Payload); ok && !isBatch {
+			ft = FrameFin
+			c.resRef(e, vs[0].Resource, dict)
+		}
+	case KindRejoin:
+		if vs, isBatch, ok := parsePayload[Rejoin](m.Payload); ok && !isBatch {
+			ft = FrameRejoin
+			e.uvarint(vs[0].Epoch)
+		}
+	case KindRejoinAck:
+		if vs, isBatch, ok := parsePayload[RejoinAck](m.Payload); ok && !isBatch {
+			ft = FrameRejoinAck
+			c.taskRef(e, vs[0].Task, dict)
+			e.svarint(int64(vs[0].Round))
+			e.uvarint(vs[0].Epoch)
+		}
+	}
+	if ft == 0 {
+		ft = FrameRaw
+		e.str(m.Kind)
+		e.bytes(m.Payload)
+	}
+	if e.err != nil {
+		return 0, 0, nil, e.err
+	}
+	if dict {
+		flags |= flagDict
+	}
+	if batch {
+		flags |= flagBatch
+	}
+	return ft, flags, e.b, nil
+}
+
+// parsePayload strictly parses a JSON payload as either a single entry or
+// an array of entries. Unknown fields, mismatched types, trailing data, or
+// any non-object/array payload report ok=false, steering the message onto
+// the RAW escape hatch instead of silently dropping information (the
+// forward-evolution rule of PROTOCOL.md §7).
+func parsePayload[T any](raw json.RawMessage) (entries []T, isBatch, ok bool) {
+	switch firstByte(raw) {
+	case '{':
+		var v T
+		if !strictUnmarshal(raw, &v) {
+			return nil, false, false
+		}
+		return []T{v}, false, true
+	case '[':
+		v := []T{}
+		if !strictUnmarshal(raw, &v) {
+			return nil, false, false
+		}
+		return v, true, true
+	default:
+		return nil, false, false
+	}
+}
+
+// firstByte returns the first non-whitespace byte of a JSON document (0 if
+// none).
+func firstByte(raw []byte) byte {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return b
+	}
+	return 0
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing data.
+func strictUnmarshal(raw []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return false
+	}
+	return !dec.More()
+}
+
+// Read implements transport.Codec: it consumes exactly one binary frame
+// from r and reconstructs the message. The body buffer grows only as bytes
+// actually arrive, so a corrupt length field on a truncated stream cannot
+// force a large up-front allocation.
+func (c *Codec) Read(r *bufio.Reader) (transport.Message, error) {
+	msg, n, err := c.readFrame(r)
+	if err != nil {
+		if err != io.EOF {
+			c.m.DecodeErrors.Inc()
+		}
+		return transport.Message{}, err
+	}
+	c.m.FramesDecoded.Inc()
+	c.m.BytesDecoded.Add(int64(n))
+	return msg, nil
+}
+
+func (c *Codec) readFrame(r *bufio.Reader) (transport.Message, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return transport.Message{}, 0, err
+	}
+	if hdr[0] != FrameMagic {
+		return transport.Message{}, 0, fmt.Errorf("wire: bad frame magic 0x%02x", hdr[0])
+	}
+	if hdr[1] != Version {
+		return transport.Message{}, 0, fmt.Errorf("wire: unsupported frame version %d", hdr[1])
+	}
+	flags := hdr[3]
+	if flags&^byte(flagsKnown) != 0 {
+		return transport.Message{}, 0, fmt.Errorf("wire: reserved frame flag bits 0x%02x", flags)
+	}
+	bodyLen, lenBytes, err := readUvarintBytes(r)
+	if err != nil {
+		return transport.Message{}, 0, err
+	}
+	if bodyLen > maxBodyBytes {
+		return transport.Message{}, 0, fmt.Errorf("wire: frame body of %d bytes exceeds limit", bodyLen)
+	}
+	var buf bytes.Buffer
+	if bodyLen <= 64<<10 {
+		buf.Grow(int(bodyLen)) // typical small frame: one exact allocation
+	}
+	if _, err := io.CopyN(&buf, r, int64(bodyLen)); err != nil {
+		return transport.Message{}, 0, fmt.Errorf("wire: truncated frame body: %w", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return transport.Message{}, 0, fmt.Errorf("wire: truncated frame trailer: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(lenBytes)
+	crc.Write(buf.Bytes())
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != crc.Sum32() {
+		return transport.Message{}, 0, fmt.Errorf("wire: frame CRC mismatch: got %08x want %08x", got, crc.Sum32())
+	}
+	msg, err := c.decodeBody(hdr[2], flags, buf.Bytes())
+	if err != nil {
+		return transport.Message{}, 0, err
+	}
+	total := len(hdr) + len(lenBytes) + buf.Len() + len(crcBuf)
+	return msg, total, nil
+}
+
+// readUvarintBytes reads a varint byte-by-byte, returning the raw bytes for
+// CRC accumulation.
+func readUvarintBytes(r io.ByteReader) (uint64, []byte, error) {
+	var raw [binary.MaxVarintLen64]byte
+	var x uint64
+	var s uint
+	for i := 0; i < len(raw); i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, nil, fmt.Errorf("wire: truncated frame length: %w", err)
+		}
+		raw[i] = b
+		if b < 0x80 {
+			if i == len(raw)-1 && b > 1 {
+				break // overflows uint64
+			}
+			return x | uint64(b)<<s, raw[:i+1], nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, nil, errors.New("wire: frame length varint overflow")
+}
+
+// decodeBody reconstructs a transport.Message from a verified frame body.
+func (c *Codec) decodeBody(ft, flags byte, body []byte) (transport.Message, error) {
+	dict := flags&flagDict != 0
+	if dict && c.dict == nil {
+		return transport.Message{}, errors.New("wire: dictionary-encoded frame but codec has no dictionary")
+	}
+	batch := flags&flagBatch != 0
+	d := &dec{buf: body}
+	var m transport.Message
+	m.From = c.readAddr(d, dict)
+	m.To = c.readAddr(d, dict)
+	switch ft {
+	case FramePrice:
+		m.Kind = KindPrice
+		m.Payload = marshalEntries(d, c.decPrice(d, dict), batch)
+	case FrameLatency:
+		m.Kind = KindLatency
+		m.Payload = marshalEntries(d, c.decLatency(d, dict), batch)
+	case FrameReport:
+		m.Kind = KindReport
+		var v UtilityReport
+		v.Task, _ = c.readTaskRef(d, dict)
+		v.Round = int(d.svarint())
+		v.Epoch = d.uvarint()
+		v.Utility = d.f64()
+		m.Payload = marshalOne(d, batch, &v)
+	case FrameStop:
+		m.Kind = KindStop
+		var v Stop
+		v.AfterRound = int(d.svarint())
+		v.Epoch = d.uvarint()
+		m.Payload = marshalOne(d, batch, &v)
+	case FrameFin:
+		m.Kind = KindFin
+		v := Fin{Resource: c.readResRef(d, dict)}
+		m.Payload = marshalOne(d, batch, &v)
+	case FrameRejoin:
+		m.Kind = KindRejoin
+		v := Rejoin{Epoch: d.uvarint()}
+		m.Payload = marshalOne(d, batch, &v)
+	case FrameRejoinAck:
+		m.Kind = KindRejoinAck
+		var v RejoinAck
+		v.Task, _ = c.readTaskRef(d, dict)
+		v.Round = int(d.svarint())
+		v.Epoch = d.uvarint()
+		m.Payload = marshalOne(d, batch, &v)
+	case FrameRaw:
+		if batch {
+			d.fail("batch flag on a RAW frame")
+		}
+		m.Kind = d.strN(maxStrLen)
+		m.Payload = d.bytesN(maxBodyBytes)
+	default:
+		d.fail("unknown frame type 0x%02x", ft)
+	}
+	if err := d.done(); err != nil {
+		return transport.Message{}, err
+	}
+	return m, nil
+}
+
+// marshalEntries re-marshals a decoded batch as the original JSON shape:
+// a bare object unless the batch flag was set.
+func marshalEntries[T any](d *dec, entries []T, batch bool) json.RawMessage {
+	if d.err != nil {
+		return nil
+	}
+	if batch {
+		raw, err := json.Marshal(entries)
+		if err != nil {
+			d.fail("re-marshaling batch: %v", err)
+			return nil
+		}
+		return raw
+	}
+	if len(entries) != 1 {
+		d.fail("%d entries in an unbatched frame", len(entries))
+		return nil
+	}
+	return marshalOne(d, false, &entries[0])
+}
+
+// marshalOne re-marshals a single decoded entry, rejecting the batch flag
+// on frame types that never batch.
+func marshalOne[T any](d *dec, batch bool, v *T) json.RawMessage {
+	if batch {
+		d.fail("batch flag on a single-entry frame")
+	}
+	if d.err != nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		d.fail("re-marshaling payload: %v", err)
+		return nil
+	}
+	return raw
+}

@@ -1,0 +1,423 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lla/internal/obs"
+	"lla/internal/transport"
+)
+
+// testDict builds the dictionary the round-trip tests share.
+func testDict(t *testing.T) *Dict {
+	t.Helper()
+	d, err := NewDict(
+		[]string{"cpu0", "net1", "disk2"},
+		[]string{"alpha", "beta"},
+		[][]string{{"a1", "a2"}, {"b1"}},
+	)
+	if err != nil {
+		t.Fatalf("NewDict: %v", err)
+	}
+	return d
+}
+
+// msg marshals a payload into a transport.Message.
+func msg(t testing.TB, from, to, kind string, payload any) transport.Message {
+	t.Helper()
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatalf("marshal payload: %v", err)
+	}
+	return transport.Message{From: from, To: to, Kind: kind, Payload: raw}
+}
+
+// corpus returns one message per frame type (all names in testDict), plus
+// delta/seq/congested variants.
+func corpus(t testing.TB) []transport.Message {
+	return []transport.Message{
+		msg(t, "res/cpu0", "ctl/alpha", "price", PriceUpdate{Round: 3, Resource: "cpu0", Mu: 1.25, Congested: true}),
+		msg(t, "res/net1", "ctl/beta", "price", PriceUpdate{Round: 17, Seq: 42, Epoch: 2, Resource: "net1", Delta: true}),
+		msg(t, "ctl/alpha", "res/cpu0", "latency", ShareReport{Round: 3, Task: "alpha", LatMs: map[string]float64{"a1": 4.5, "a2": 6.25}}),
+		msg(t, "ctl/beta", "res/disk2", "latency", ShareReport{Round: 9, Seq: -7, Epoch: 1, Task: "beta", Delta: true}),
+		msg(t, "ctl/alpha", "coordinator", "report", UtilityReport{Round: 5, Epoch: 3, Task: "alpha", Utility: -12.75}),
+		msg(t, "coordinator", "res/cpu0", "stop", Stop{AfterRound: 8, Epoch: 3}),
+		msg(t, "res/disk2", "ctl/beta", "fin", Fin{Resource: "disk2"}),
+		msg(t, "coordinator", "ctl/alpha", "rejoin", Rejoin{Epoch: 4}),
+		msg(t, "ctl/alpha", "coordinator", "rejoinAck", RejoinAck{Epoch: 4, Task: "alpha", Round: -1}),
+		msg(t, "admit-client-1", "coordinator", "admitQuery", map[string]any{"task": "gamma", "budget": 3.5}),
+	}
+}
+
+// roundTrip encodes and decodes one message.
+func roundTrip(t testing.TB, c *Codec, m transport.Message) transport.Message {
+	t.Helper()
+	frame, err := c.Encode(m)
+	if err != nil {
+		t.Fatalf("Encode(%s): %v", m.Kind, err)
+	}
+	out, err := c.Read(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("Read(%s): %v", m.Kind, err)
+	}
+	return out
+}
+
+// assertSame requires an exact message round trip: routing fields equal and
+// payload byte-identical (the mirror structs share dist's field order and
+// tags, so re-marshaling reproduces the original bytes).
+func assertSame(t *testing.T, want, got transport.Message) {
+	t.Helper()
+	if got.From != want.From || got.To != want.To || got.Kind != want.Kind {
+		t.Fatalf("envelope mismatch: got %s->%s %q want %s->%s %q",
+			got.From, got.To, got.Kind, want.From, want.To, want.Kind)
+	}
+	if !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("payload mismatch for %s:\n got %s\nwant %s", want.Kind, got.Payload, want.Payload)
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		c    *Codec
+	}{
+		{"dict", NewCodec(testDict(t))},
+		{"strings", NewCodec(nil)},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			for _, m := range corpus(t) {
+				assertSame(t, m, roundTrip(t, mode.c, m))
+			}
+		})
+	}
+}
+
+func TestRoundTripBatched(t *testing.T) {
+	c := NewCodec(testDict(t))
+	batchPrice := msg(t, "res/cpu0", "ctl/alpha", "price", []PriceUpdate{
+		{Round: 1, Resource: "cpu0", Mu: 0.5},
+		{Round: 1, Resource: "net1", Delta: true},
+		{Round: 1, Resource: "disk2", Mu: 2.5, Congested: true, Seq: 9},
+	})
+	assertSame(t, batchPrice, roundTrip(t, c, batchPrice))
+
+	single := msg(t, "res/cpu0", "ctl/alpha", "price", []PriceUpdate{{Round: 2, Resource: "cpu0", Mu: 1}})
+	assertSame(t, single, roundTrip(t, c, single)) // a 1-element array stays an array
+
+	empty := msg(t, "res/cpu0", "ctl/alpha", "price", []PriceUpdate{})
+	assertSame(t, empty, roundTrip(t, c, empty))
+
+	batchLat := msg(t, "ctl/alpha", "res/cpu0", "latency", []ShareReport{
+		{Round: 4, Task: "alpha", LatMs: map[string]float64{"a1": 1, "a2": 2}},
+		{Round: 4, Task: "beta", Delta: true},
+	})
+	assertSame(t, batchLat, roundTrip(t, c, batchLat))
+}
+
+// TestCrossCodecEquivalence is the JSON<->binary suite: for every corpus
+// message, the decoded binary payload must be semantically identical to
+// what the legacy JSON framing delivers (which ships Payload verbatim).
+func TestCrossCodecEquivalence(t *testing.T) {
+	for _, c := range []*Codec{NewCodec(testDict(t)), NewCodec(nil)} {
+		for _, m := range corpus(t) {
+			got := roundTrip(t, c, m)
+			var viaJSON, viaBinary any
+			if err := json.Unmarshal(m.Payload, &viaJSON); err != nil {
+				t.Fatalf("unmarshal original: %v", err)
+			}
+			if err := json.Unmarshal(got.Payload, &viaBinary); err != nil {
+				t.Fatalf("unmarshal decoded: %v", err)
+			}
+			if !reflect.DeepEqual(viaJSON, viaBinary) {
+				t.Fatalf("%s payload diverged:\n json %v\n binary %v", m.Kind, viaJSON, viaBinary)
+			}
+		}
+	}
+}
+
+// jsonFrameSize is the legacy framing cost: 4-byte length prefix plus the
+// JSON-marshaled envelope.
+func jsonFrameSize(t testing.TB, m transport.Message) int {
+	t.Helper()
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal message: %v", err)
+	}
+	return 4 + len(raw)
+}
+
+// TestBatchedPriceFrameTenTimesSmaller pins the acceptance target the
+// benchparse gate enforces in CI: a 64-update price batch must be at least
+// 10x smaller in binary than as legacy JSON frames.
+func TestBatchedPriceFrameTenTimesSmaller(t *testing.T) {
+	resources := make([]string, 64)
+	batch := make([]PriceUpdate, 64)
+	jsonBytes := 0
+	for i := range batch {
+		resources[i] = "res-" + strings.Repeat("x", 2) + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		batch[i] = PriceUpdate{Round: 1000 + i, Epoch: 3, Resource: resources[i], Mu: 0.5 + float64(i)/7}
+		jsonBytes += jsonFrameSize(t, msg(t, "res/"+resources[i], "ctl/alpha", "price", batch[i]))
+	}
+	d, err := NewDict(resources, []string{"alpha"}, [][]string{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCodec(d)
+	frame, err := c.Encode(msg(t, "res/"+resources[0], "ctl/alpha", "price", batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 10*len(frame) > jsonBytes {
+		t.Fatalf("binary batch frame %dB not >=10x smaller than %dB of JSON frames", len(frame), jsonBytes)
+	}
+}
+
+func TestTruncatedFramesError(t *testing.T) {
+	c := NewCodec(testDict(t))
+	for _, m := range corpus(t) {
+		frame, err := c.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(frame); i++ {
+			if _, err := c.Read(bufio.NewReader(bytes.NewReader(frame[:i]))); err == nil {
+				t.Fatalf("%s frame truncated to %d/%d bytes decoded successfully", m.Kind, i, len(frame))
+			}
+		}
+	}
+}
+
+// reseal recomputes the CRC trailer after a test mutates frame bytes.
+func reseal(frame []byte) {
+	binary.LittleEndian.PutUint32(frame[len(frame)-4:], crc32.ChecksumIEEE(frame[:len(frame)-4]))
+}
+
+func TestCorruptFramesError(t *testing.T) {
+	c := NewCodec(testDict(t))
+	m := corpus(t)[0]
+	frame, err := c.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(frame); i++ {
+		for _, flip := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= flip
+			if _, err := c.Read(bufio.NewReader(bytes.NewReader(mut))); err == nil {
+				t.Fatalf("frame with byte %d flipped by %#x decoded successfully", i, flip)
+			}
+		}
+	}
+}
+
+func TestExtremeIntegerFieldsRoundTrip(t *testing.T) {
+	c := NewCodec(nil)
+	m := msg(t, "res/"+strings.Repeat("r", 300), "ctl/alpha", "price", PriceUpdate{
+		Round:    math.MaxInt64,
+		Seq:      math.MinInt64,
+		Epoch:    math.MaxUint64,
+		Resource: strings.Repeat("r", 300),
+		Mu:       math.MaxFloat64,
+	})
+	assertSame(t, m, roundTrip(t, c, m))
+
+	ack := msg(t, "ctl/alpha", "coordinator", "rejoinAck", RejoinAck{Epoch: math.MaxUint64, Task: "alpha", Round: math.MinInt64})
+	assertSame(t, ack, roundTrip(t, c, ack))
+}
+
+func TestOversizeStringRejected(t *testing.T) {
+	c := NewCodec(nil)
+	long := strings.Repeat("x", maxStrLen+1)
+	if _, err := c.Encode(msg(t, "res/"+long, "ctl/alpha", "fin", Fin{Resource: long})); err == nil {
+		t.Fatal("oversize id encoded successfully")
+	}
+}
+
+func TestDictIndexOutOfRangeRejected(t *testing.T) {
+	big := testDict(t) // 3 resources
+	small, err := NewDict([]string{"cpu0"}, []string{"alpha", "beta"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := NewCodec(big).Encode(corpus(t)[1]) // resource net1 = index 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCodec(small).Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("frame with out-of-range dictionary index decoded successfully")
+	}
+	// A dictless codec must reject dictionary-encoded frames outright.
+	if _, err := NewCodec(nil).Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("dictless codec decoded a dictionary-encoded frame")
+	}
+}
+
+func TestNonFiniteFloatsRejected(t *testing.T) {
+	e := &enc{}
+	e.f64(math.NaN())
+	if e.err == nil {
+		t.Fatal("encoder accepted NaN")
+	}
+	e = &enc{}
+	e.f64(math.Inf(1))
+	if e.err == nil {
+		t.Fatal("encoder accepted +Inf")
+	}
+
+	// Craft a frame whose mu bits are NaN: encode mu=1.5 (a bit pattern
+	// that appears exactly once) and overwrite it.
+	c := NewCodec(nil)
+	frame, err := c.Encode(msg(t, "res/cpu0", "ctl/alpha", "price", PriceUpdate{Round: 1, Resource: "cpu0", Mu: 1.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pat [8]byte
+	binary.LittleEndian.PutUint64(pat[:], math.Float64bits(1.5))
+	i := bytes.Index(frame, pat[:])
+	if i < 0 {
+		t.Fatal("mu bit pattern not found in frame")
+	}
+	binary.LittleEndian.PutUint64(frame[i:], math.Float64bits(math.NaN()))
+	reseal(frame)
+	if _, err := c.Read(bufio.NewReader(bytes.NewReader(frame))); err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("NaN price decoded: err=%v", err)
+	}
+}
+
+func TestReservedFlagBitsRejected(t *testing.T) {
+	c := NewCodec(nil)
+	frame, err := c.Encode(corpus(t)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[3] |= 0x80
+	reseal(frame)
+	if _, err := c.Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("reserved flag bit accepted")
+	}
+}
+
+func TestUnknownFrameTypeRejected(t *testing.T) {
+	c := NewCodec(nil)
+	frame, err := c.Encode(corpus(t)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[2] = 0x7E
+	reseal(frame)
+	if _, err := c.Read(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("unknown frame type accepted")
+	}
+}
+
+// TestUnknownFieldsRideRaw is the forward-evolution rule: a price payload
+// with a field this codec version does not know must ship verbatim on a
+// RAW frame rather than being silently stripped.
+func TestUnknownFieldsRideRaw(t *testing.T) {
+	c := NewCodec(testDict(t))
+	m := transport.Message{From: "res/cpu0", To: "ctl/alpha", Kind: "price",
+		Payload: json.RawMessage(`{"round":1,"resource":"cpu0","mu":1,"futureField":true}`)}
+	frame, err := c.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != FrameRaw {
+		t.Fatalf("unknown-field payload used frame type 0x%02x, want RAW", frame[2])
+	}
+	assertSame(t, m, roundTrip(t, c, m))
+}
+
+// TestDictMissFallsBackToStrings: ids outside the negotiated dictionary
+// re-encode the frame in string mode instead of failing.
+func TestDictMissFallsBackToStrings(t *testing.T) {
+	c := NewCodec(testDict(t))
+	m := msg(t, "res/rogue", "ctl/alpha", "price", PriceUpdate{Round: 1, Resource: "rogue", Mu: 2})
+	frame, err := c.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[3]&flagDict != 0 {
+		t.Fatal("dict flag set on a frame with an out-of-dictionary id")
+	}
+	assertSame(t, m, roundTrip(t, c, m))
+}
+
+// TestHostileBodyLengthAllocation mirrors the transport readFrame test: a
+// huge declared body length on a truncated stream must not allocate the
+// declared size up front.
+func TestHostileBodyLengthAllocation(t *testing.T) {
+	hdr := []byte{FrameMagic, Version, FramePrice, 0}
+	hdr = binary.AppendUvarint(hdr, maxBodyBytes) // claims 16 MiB, delivers none
+	c := NewCodec(nil)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := c.Read(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
+			t.Fatal("truncated hostile frame decoded")
+		}
+	})
+	// bufio.Reader + bytes.Reader + error wrapping stay small; a 16 MiB
+	// up-front allocation would dwarf this bound.
+	if allocs > 20 {
+		t.Fatalf("hostile length triggered %v allocations per read", allocs)
+	}
+}
+
+func TestWireMetricsCount(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCodec(testDict(t))
+	c.Observe(reg)
+	for _, m := range corpus(t) {
+		roundTrip(t, c, m)
+	}
+	m := c.m
+	if n := m.FramesEncoded.Value(); n != int64(len(corpus(t))) {
+		t.Fatalf("FramesEncoded = %d, want %d", n, len(corpus(t)))
+	}
+	if m.FramesDecoded.Value() != m.FramesEncoded.Value() {
+		t.Fatalf("decoded %d != encoded %d", m.FramesDecoded.Value(), m.FramesEncoded.Value())
+	}
+	if m.RawFrames.Value() != 1 { // the admitQuery corpus entry
+		t.Fatalf("RawFrames = %d, want 1", m.RawFrames.Value())
+	}
+	if m.BytesEncoded.Value() == 0 || m.BytesDecoded.Value() != m.BytesEncoded.Value() {
+		t.Fatalf("byte counters inconsistent: enc %d dec %d", m.BytesEncoded.Value(), m.BytesDecoded.Value())
+	}
+	if _, err := c.Read(bufio.NewReader(bytes.NewReader([]byte{0xFF, 0, 0, 0, 0}))); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if m.DecodeErrors.Value() != 1 {
+		t.Fatalf("DecodeErrors = %d, want 1", m.DecodeErrors.Value())
+	}
+}
+
+// TestStreamedFrames reads several frames back-to-back from one reader,
+// the way a connection read loop does.
+func TestStreamedFrames(t *testing.T) {
+	c := NewCodec(testDict(t))
+	var stream bytes.Buffer
+	for _, m := range corpus(t) {
+		frame, err := c.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(frame)
+	}
+	br := bufio.NewReader(&stream)
+	for _, want := range corpus(t) {
+		got, err := c.Read(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSame(t, want, got)
+	}
+	if _, err := c.Read(br); err == nil {
+		t.Fatal("read past end of stream succeeded")
+	}
+}

@@ -1,0 +1,354 @@
+package wire
+
+import (
+	"sort"
+)
+
+// Mirror payload structs. Field names, JSON tags and declaration order
+// match the internal/dist message structs exactly, so a payload
+// re-marshaled after a binary round trip is byte-identical to the JSON the
+// sender's legacy path would have produced (the cross-codec equivalence
+// tests assert this). The structs are exported so tests, tools and the
+// PROTOCOL.md examples can construct frames directly.
+
+// PriceUpdate mirrors dist's priceMsg: one resource's price broadcast.
+type PriceUpdate struct {
+	Round     int     `json:"round"`
+	Seq       int64   `json:"seq,omitempty"`
+	Epoch     uint64  `json:"epoch,omitempty"`
+	Resource  string  `json:"resource"`
+	Mu        float64 `json:"mu,omitempty"`
+	Congested bool    `json:"congested,omitempty"`
+	Delta     bool    `json:"delta,omitempty"`
+}
+
+// ShareReport mirrors dist's latencyMsg: one controller's per-resource
+// latency allocations.
+type ShareReport struct {
+	Round int                `json:"round"`
+	Seq   int64              `json:"seq,omitempty"`
+	Epoch uint64             `json:"epoch,omitempty"`
+	Task  string             `json:"task"`
+	LatMs map[string]float64 `json:"latMs,omitempty"`
+	Delta bool               `json:"delta,omitempty"`
+}
+
+// UtilityReport mirrors dist's reportMsg.
+type UtilityReport struct {
+	Round   int     `json:"round"`
+	Epoch   uint64  `json:"epoch,omitempty"`
+	Task    string  `json:"task"`
+	Utility float64 `json:"utility"`
+}
+
+// Stop mirrors dist's stopMsg.
+type Stop struct {
+	AfterRound int    `json:"afterRound"`
+	Epoch      uint64 `json:"epoch,omitempty"`
+}
+
+// Fin mirrors dist's finMsg.
+type Fin struct {
+	Resource string `json:"resource"`
+}
+
+// Rejoin mirrors dist's rejoinMsg.
+type Rejoin struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// RejoinAck mirrors dist's rejoinAckMsg. Round may be -1 (nothing reported
+// yet), hence the zigzag encoding on the wire.
+type RejoinAck struct {
+	Epoch uint64 `json:"epoch"`
+	Task  string `json:"task"`
+	Round int    `json:"round"`
+}
+
+// Message kinds with a dedicated frame type. They mirror the internal/dist
+// kind tags; any other kind rides a RAW frame.
+const (
+	KindPrice     = "price"
+	KindLatency   = "latency"
+	KindReport    = "report"
+	KindStop      = "stop"
+	KindFin       = "fin"
+	KindRejoin    = "rejoin"
+	KindRejoinAck = "rejoinAck"
+)
+
+// Per-entry flag bits of PRICE frames.
+const (
+	priceFlagCongested = 0x01
+	priceFlagDelta     = 0x02
+	priceFlagSeq       = 0x04
+	priceFlagMu        = 0x08
+	priceFlagsKnown    = priceFlagCongested | priceFlagDelta | priceFlagSeq | priceFlagMu
+)
+
+// Per-entry flag bits of LATENCY frames.
+const (
+	latFlagDelta  = 0x01
+	latFlagSeq    = 0x02
+	latFlagsKnown = latFlagDelta | latFlagSeq
+)
+
+// Address tags. Endpoint addresses follow the dist naming scheme
+// ("coordinator", "res/<id>", "ctl/<task>"); the tag compresses the common
+// prefixes and lets the id ride the dictionary. Any other address is a
+// literal string.
+const (
+	addrCoordinator = 0x00
+	addrResource    = 0x01
+	addrController  = 0x02
+	addrLiteral     = 0x03
+)
+
+// coordinatorName is dist's coordinator endpoint address.
+const coordinatorName = "coordinator"
+
+// Encode side ------------------------------------------------------------
+
+// resRef appends a resource id, as a dictionary index in dict mode.
+func (c *Codec) resRef(e *enc, id string, dict bool) {
+	if dict {
+		i, ok := c.dict.resIdx[id]
+		if !ok {
+			e.setErr(errDictMiss)
+			return
+		}
+		e.uvarint(uint64(i))
+		return
+	}
+	e.str(id)
+}
+
+// taskRef appends a task name and returns its dictionary index (-1 in
+// string mode) for subtask resolution.
+func (c *Codec) taskRef(e *enc, name string, dict bool) int {
+	if dict {
+		i, ok := c.dict.taskIdx[name]
+		if !ok {
+			e.setErr(errDictMiss)
+			return -1
+		}
+		e.uvarint(uint64(i))
+		return i
+	}
+	e.str(name)
+	return -1
+}
+
+// subRef appends a subtask name, as an index into task ti's subtask list in
+// dict mode.
+func (c *Codec) subRef(e *enc, ti int, name string, dict bool) {
+	if dict {
+		j, ok := c.dict.subIdx[ti][name]
+		if !ok {
+			e.setErr(errDictMiss)
+			return
+		}
+		e.uvarint(uint64(j))
+		return
+	}
+	e.str(name)
+}
+
+// addr appends an endpoint address.
+func (c *Codec) addr(e *enc, a string, dict bool) {
+	switch {
+	case a == coordinatorName:
+		e.u8(addrCoordinator)
+	case len(a) > 4 && a[:4] == "res/":
+		e.u8(addrResource)
+		c.resRef(e, a[4:], dict)
+	case len(a) > 4 && a[:4] == "ctl/":
+		e.u8(addrController)
+		c.taskRef(e, a[4:], dict)
+	default:
+		e.u8(addrLiteral)
+		e.str(a)
+	}
+}
+
+// encPrice appends a PRICE body (entry count + entries).
+func (c *Codec) encPrice(e *enc, batch []PriceUpdate, dict bool) {
+	e.uvarint(uint64(len(batch)))
+	for i := range batch {
+		p := &batch[i]
+		c.resRef(e, p.Resource, dict)
+		e.svarint(int64(p.Round))
+		e.uvarint(p.Epoch)
+		var fl byte
+		if p.Congested {
+			fl |= priceFlagCongested
+		}
+		if p.Delta {
+			fl |= priceFlagDelta
+		}
+		if p.Seq != 0 {
+			fl |= priceFlagSeq
+		}
+		if !p.Delta {
+			fl |= priceFlagMu
+		}
+		e.u8(fl)
+		if fl&priceFlagSeq != 0 {
+			e.svarint(p.Seq)
+		}
+		if fl&priceFlagMu != 0 {
+			e.f64(p.Mu)
+		}
+	}
+}
+
+// encLatency appends a LATENCY body. Map keys are emitted sorted so the
+// encoding is deterministic (and matches encoding/json's map ordering).
+func (c *Codec) encLatency(e *enc, batch []ShareReport, dict bool) {
+	e.uvarint(uint64(len(batch)))
+	for i := range batch {
+		s := &batch[i]
+		ti := c.taskRef(e, s.Task, dict)
+		e.svarint(int64(s.Round))
+		e.uvarint(s.Epoch)
+		var fl byte
+		if s.Delta {
+			fl |= latFlagDelta
+		}
+		if s.Seq != 0 {
+			fl |= latFlagSeq
+		}
+		e.u8(fl)
+		if fl&latFlagSeq != 0 {
+			e.svarint(s.Seq)
+		}
+		if s.Delta {
+			continue
+		}
+		keys := make([]string, 0, len(s.LatMs))
+		for k := range s.LatMs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			c.subRef(e, ti, k, dict)
+			e.f64(s.LatMs[k])
+		}
+	}
+}
+
+// Decode side ------------------------------------------------------------
+
+// readResRef reads a resource id.
+func (c *Codec) readResRef(d *dec, dict bool) string {
+	if dict {
+		return c.dict.resources[d.index(len(c.dict.resources), "resource")]
+	}
+	return d.strN(maxStrLen)
+}
+
+// readTaskRef reads a task name, returning the dictionary index (-1 in
+// string mode).
+func (c *Codec) readTaskRef(d *dec, dict bool) (string, int) {
+	if dict {
+		i := d.index(len(c.dict.tasks), "task")
+		return c.dict.tasks[i], i
+	}
+	return d.strN(maxStrLen), -1
+}
+
+// readSubRef reads a subtask name of task ti.
+func (c *Codec) readSubRef(d *dec, ti int, dict bool) string {
+	if dict {
+		subs := c.dict.subs[ti]
+		return subs[d.index(len(subs), "subtask")]
+	}
+	return d.strN(maxStrLen)
+}
+
+// readAddr reads an endpoint address.
+func (c *Codec) readAddr(d *dec, dict bool) string {
+	switch tag := d.u8(); tag {
+	case addrCoordinator:
+		return coordinatorName
+	case addrResource:
+		return "res/" + c.readResRef(d, dict)
+	case addrController:
+		name, _ := c.readTaskRef(d, dict)
+		return "ctl/" + name
+	case addrLiteral:
+		return d.strN(maxStrLen)
+	default:
+		d.fail("unknown address tag 0x%02x", tag)
+		return ""
+	}
+}
+
+// decPrice reads a PRICE body.
+func (c *Codec) decPrice(d *dec, dict bool) []PriceUpdate {
+	n := d.count(maxBatch)
+	out := make([]PriceUpdate, 0, min(n, 4096))
+	for i := 0; i < n && d.err == nil; i++ {
+		var p PriceUpdate
+		p.Resource = c.readResRef(d, dict)
+		p.Round = int(d.svarint())
+		p.Epoch = d.uvarint()
+		fl := d.u8()
+		if fl&^priceFlagsKnown != 0 {
+			d.fail("reserved price entry flag bits 0x%02x", fl)
+		}
+		p.Congested = fl&priceFlagCongested != 0
+		p.Delta = fl&priceFlagDelta != 0
+		if (fl&priceFlagMu != 0) == p.Delta {
+			// A delta carries no price; a full update always does. Any
+			// other combination is not something the encoder emits.
+			d.fail("price entry flags 0x%02x: mu presence inconsistent with delta", fl)
+		}
+		if fl&priceFlagSeq != 0 {
+			p.Seq = d.svarint()
+		}
+		if fl&priceFlagMu != 0 {
+			p.Mu = d.f64()
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// decLatency reads a LATENCY body.
+func (c *Codec) decLatency(d *dec, dict bool) []ShareReport {
+	n := d.count(maxBatch)
+	out := make([]ShareReport, 0, min(n, 4096))
+	for i := 0; i < n && d.err == nil; i++ {
+		var s ShareReport
+		var ti int
+		s.Task, ti = c.readTaskRef(d, dict)
+		s.Round = int(d.svarint())
+		s.Epoch = d.uvarint()
+		fl := d.u8()
+		if fl&^latFlagsKnown != 0 {
+			d.fail("reserved latency entry flag bits 0x%02x", fl)
+		}
+		s.Delta = fl&latFlagDelta != 0
+		if fl&latFlagSeq != 0 {
+			s.Seq = d.svarint()
+		}
+		if !s.Delta {
+			m := d.count(maxBatch)
+			if m > 0 {
+				s.LatMs = make(map[string]float64, min(m, 4096))
+				for j := 0; j < m && d.err == nil; j++ {
+					k := c.readSubRef(d, ti, dict)
+					v := d.f64()
+					if _, dup := s.LatMs[k]; dup {
+						d.fail("duplicate subtask %q in latency entry", k)
+					}
+					s.LatMs[k] = v
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

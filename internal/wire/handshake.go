@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version negotiation (PROTOCOL.md §5). After dialing, a binary-capable
+// client writes one fixed-size hello; the server answers with one
+// fixed-size ack choosing the frame version (0 = speak legacy JSON). The
+// hello magic "LLAW" doubles as the connection discriminator: read as a
+// legacy big-endian length prefix it decodes to ~1.28 GB, far above the
+// 16 MiB frame cap, so a pre-codec server rejects the hello instantly and
+// closes — the client reads EOF instead of an ack and falls back to JSON
+// on a fresh connection. A pre-codec client's first bytes are a <16 MiB
+// length prefix, which never matches "LLAW", so a binary-capable server
+// serves it legacy JSON without any round trip.
+
+var (
+	helloMagic = [4]byte{'L', 'L', 'A', 'W'}
+	ackMagic   = [4]byte{'L', 'L', 'A', 'B'}
+)
+
+const (
+	helloLen = 18 // magic(4) maxVer(1) minVer(1) dictHash(8) crc(4)
+	ackLen   = 10 // magic(4) version(1) flags(1) crc(4)
+)
+
+// Hello implements transport.Codec: the client handshake blob.
+func (c *Codec) Hello() []byte {
+	b := make([]byte, 0, helloLen)
+	b = append(b, helloMagic[:]...)
+	b = append(b, c.maxVersion, c.minVersion)
+	b = binary.LittleEndian.AppendUint64(b, c.dict.Hash())
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// Sniff implements transport.Codec: reports whether a connection's first
+// four bytes are a codec hello.
+func (c *Codec) Sniff(prefix []byte) bool {
+	return len(prefix) >= 4 && bytes.Equal(prefix[:4], helloMagic[:])
+}
+
+// Accept implements transport.Codec: it consumes the rest of a sniffed
+// hello and returns the ack to write back. ok reports whether the
+// connection will carry binary frames; a version or dictionary mismatch
+// negotiates JSON (ok=false) rather than failing. A corrupt hello is an
+// error: the caller should drop the connection.
+func (c *Codec) Accept(prefix []byte, r io.Reader) (ack []byte, ok bool, err error) {
+	hello := make([]byte, helloLen)
+	copy(hello, prefix[:4])
+	if _, err := io.ReadFull(r, hello[4:]); err != nil {
+		return nil, false, fmt.Errorf("wire: truncated hello: %w", err)
+	}
+	if got, want := binary.LittleEndian.Uint32(hello[helloLen-4:]), crc32.ChecksumIEEE(hello[:helloLen-4]); got != want {
+		return nil, false, fmt.Errorf("wire: hello CRC mismatch: got %08x want %08x", got, want)
+	}
+	theirMax, theirMin := hello[4], hello[5]
+	theirDict := binary.LittleEndian.Uint64(hello[6:14])
+
+	version := min(c.maxVersion, theirMax)
+	if version < theirMin || version < c.minVersion {
+		version = 0 // no common version: speak JSON
+	}
+	if theirDict != c.dict.Hash() {
+		version = 0 // dictionary disagreement: speak JSON
+	}
+	if version != 0 {
+		c.m.NegotiatedBinary.Inc()
+	} else {
+		c.m.NegotiatedJSON.Inc()
+	}
+	b := make([]byte, 0, ackLen)
+	b = append(b, ackMagic[:]...)
+	b = append(b, version, 0)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b, version != 0, nil
+}
+
+// ReadAck implements transport.Codec: it parses the server's handshake
+// answer. ok=false means the server negotiated JSON. An error (including a
+// connection closed by a pre-codec server) tells the caller to redial and
+// speak JSON.
+func (c *Codec) ReadAck(r io.Reader) (bool, error) {
+	var b [ackLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		c.m.NegotiatedJSON.Inc()
+		return false, fmt.Errorf("wire: reading handshake ack: %w", err)
+	}
+	if !bytes.Equal(b[:4], ackMagic[:]) {
+		c.m.NegotiatedJSON.Inc()
+		return false, fmt.Errorf("wire: bad ack magic % x", b[:4])
+	}
+	if got, want := binary.LittleEndian.Uint32(b[ackLen-4:]), crc32.ChecksumIEEE(b[:ackLen-4]); got != want {
+		c.m.NegotiatedJSON.Inc()
+		return false, fmt.Errorf("wire: ack CRC mismatch: got %08x want %08x", got, want)
+	}
+	switch version := b[4]; {
+	case version == 0:
+		c.m.NegotiatedJSON.Inc()
+		return false, nil
+	case version < c.minVersion || version > c.maxVersion:
+		c.m.NegotiatedJSON.Inc()
+		return false, fmt.Errorf("wire: server chose unsupported version %d", version)
+	default:
+		c.m.NegotiatedBinary.Inc()
+		return true, nil
+	}
+}

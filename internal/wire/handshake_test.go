@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// accept runs the server side of a handshake against a client hello.
+func accept(t *testing.T, server *Codec, hello []byte) (ack []byte, ok bool) {
+	t.Helper()
+	r := bytes.NewReader(hello)
+	var prefix [4]byte
+	if _, err := r.Read(prefix[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !server.Sniff(prefix[:]) {
+		t.Fatal("server did not sniff the hello")
+	}
+	ack, ok, err := server.Accept(prefix[:], r)
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	return ack, ok
+}
+
+func TestHandshakeAgreesBinary(t *testing.T) {
+	d := testDict(t)
+	client, server := NewCodec(d), NewCodec(d)
+	ack, ok := accept(t, server, client.Hello())
+	if !ok {
+		t.Fatal("matching codecs negotiated JSON")
+	}
+	got, err := client.ReadAck(bytes.NewReader(ack))
+	if err != nil || !got {
+		t.Fatalf("client ReadAck = %v, %v; want binary", got, err)
+	}
+}
+
+func TestHandshakeDictlessPairAgreesBinary(t *testing.T) {
+	client, server := NewCodec(nil), NewCodec(nil)
+	ack, ok := accept(t, server, client.Hello())
+	if !ok {
+		t.Fatal("dictless pair negotiated JSON")
+	}
+	if got, err := client.ReadAck(bytes.NewReader(ack)); err != nil || !got {
+		t.Fatalf("ReadAck = %v, %v", got, err)
+	}
+}
+
+// TestHandshakeVersionSkewFallsBackToJSON: a future client speaking only
+// version 2 and a current server share no version, so the ack says "JSON"
+// and both sides keep interoperating on the legacy framing.
+func TestHandshakeVersionSkewFallsBackToJSON(t *testing.T) {
+	future := NewCodec(nil)
+	future.minVersion, future.maxVersion = 2, 2
+	server := NewCodec(nil)
+	ack, ok := accept(t, server, future.Hello())
+	if ok {
+		t.Fatal("disjoint version ranges negotiated binary")
+	}
+	if got, err := future.ReadAck(bytes.NewReader(ack)); err != nil || got {
+		t.Fatalf("future client ReadAck = %v, %v; want JSON fallback", got, err)
+	}
+	// The symmetric skew: current client, future-only server.
+	ack, ok = accept(t, future, server.Hello())
+	if ok {
+		t.Fatal("future server agreed to binary with a v1 client")
+	}
+	if got, err := server.ReadAck(bytes.NewReader(ack)); err != nil || got {
+		t.Fatalf("current client ReadAck = %v, %v; want JSON fallback", got, err)
+	}
+}
+
+// TestHandshakeOverlappingRangesPickCommonVersion: a client advertising
+// 1..2 and a v1 server settle on version 1.
+func TestHandshakeOverlappingRangesPickCommonVersion(t *testing.T) {
+	wide := NewCodec(nil)
+	wide.maxVersion = 2
+	server := NewCodec(nil)
+	ack, ok := accept(t, server, wide.Hello())
+	if !ok {
+		t.Fatal("overlapping ranges negotiated JSON")
+	}
+	if ack[4] != 1 {
+		t.Fatalf("negotiated version %d, want 1", ack[4])
+	}
+	if got, err := wide.ReadAck(bytes.NewReader(ack)); err != nil || !got {
+		t.Fatalf("ReadAck = %v, %v", got, err)
+	}
+}
+
+func TestHandshakeDictMismatchFallsBackToJSON(t *testing.T) {
+	other, err := NewDict([]string{"different"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := NewCodec(testDict(t)), NewCodec(other)
+	ack, ok := accept(t, server, client.Hello())
+	if ok {
+		t.Fatal("mismatched dictionaries negotiated binary")
+	}
+	if got, err := client.ReadAck(bytes.NewReader(ack)); err != nil || got {
+		t.Fatalf("ReadAck = %v, %v; want JSON fallback", got, err)
+	}
+}
+
+func TestHandshakeCorruptHelloRejected(t *testing.T) {
+	c := NewCodec(nil)
+	hello := c.Hello()
+	hello[6] ^= 0xFF // dict hash byte: CRC must catch it
+	r := bytes.NewReader(hello[4:])
+	if _, _, err := c.Accept(hello[:4], r); err == nil {
+		t.Fatal("corrupt hello accepted")
+	}
+}
+
+func TestHandshakeCorruptAckRejected(t *testing.T) {
+	d := testDict(t)
+	client, server := NewCodec(d), NewCodec(d)
+	ack, _ := accept(t, server, client.Hello())
+	ack[4] ^= 0x01
+	if _, err := client.ReadAck(bytes.NewReader(ack)); err == nil {
+		t.Fatal("corrupt ack accepted")
+	}
+	if _, err := client.ReadAck(bytes.NewReader(ack[:3])); err == nil {
+		t.Fatal("truncated ack accepted")
+	}
+}
+
+// TestHelloRejectedByLegacyFrameReader documents the fallback mechanism:
+// read as a legacy big-endian length prefix, the hello magic decodes to
+// ~1.28 GB — far above the 16 MiB frame cap — so a pre-codec server
+// rejects the connection immediately instead of waiting for a giant frame.
+func TestHelloRejectedByLegacyFrameReader(t *testing.T) {
+	if n := binary.BigEndian.Uint32(helloMagic[:]); n <= 16<<20 {
+		t.Fatalf("hello magic reads as a plausible frame length %d; legacy peers would hang", n)
+	}
+}

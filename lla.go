@@ -39,6 +39,7 @@ import (
 	"lla/internal/core"
 	"lla/internal/dist"
 	"lla/internal/errcorr"
+	"lla/internal/gateway"
 	"lla/internal/obs"
 	"lla/internal/price"
 	"lla/internal/share"
@@ -46,6 +47,7 @@ import (
 	"lla/internal/task"
 	"lla/internal/transport"
 	"lla/internal/utility"
+	"lla/internal/wire"
 	"lla/internal/workload"
 )
 
@@ -387,6 +389,60 @@ type InprocConfig = transport.InprocConfig
 func NewTCPNetwork(registry map[string]string) *transport.TCP {
 	return transport.NewTCP(registry)
 }
+
+// Binary wire protocol (PROTOCOL.md). A WireCodec frames messages in the
+// versioned binary format; TCP networks negotiate it per connection (with
+// automatic JSON fallback for pre-codec peers, version skew and dictionary
+// mismatch), and in-process networks round-trip every delivery through it.
+type (
+	// WireCodec is the binary frame codec; it satisfies the transport
+	// Codec interface accepted by TCP/Inproc SetCodec.
+	WireCodec = wire.Codec
+	// WireDict is the shared id dictionary that compresses resource/task
+	// names to varint indexes; peers must agree on it (the handshake
+	// carries its hash).
+	WireDict = wire.Dict
+)
+
+var (
+	// NewWireCodec returns a binary codec; dict may be nil for
+	// string-mode frames.
+	NewWireCodec = wire.NewCodec
+	// NewWireDict builds an id dictionary from resource/task/subtask
+	// names.
+	NewWireDict = wire.NewDict
+	// NewWorkloadWireCodec builds the codec for a workload's id space,
+	// publishing lla_wire_* metrics when reg is non-nil.
+	NewWorkloadWireCodec = dist.WireCodec
+)
+
+// Streaming control-plane gateway (PROTOCOL.md §6, OBSERVABILITY.md): an
+// HTTP/SSE endpoint publishing delta-encoded live optimizer state. A
+// Gateway is both a Recorder and a TraceSink; compose it with other
+// channels via MultiRecorder/MultiSink.
+type (
+	// Gateway streams keyframe/delta/trace SSE events at /stream and the
+	// current state snapshot at /state.
+	Gateway = gateway.Gateway
+	// GatewayConfig tunes keyframe cadence and per-connection queues.
+	GatewayConfig = gateway.Config
+	// GatewayKeyframe is the full streamed state.
+	GatewayKeyframe = gateway.Keyframe
+	// GatewayDelta is one iteration's changes against the previous event.
+	GatewayDelta = gateway.Delta
+)
+
+var (
+	// NewGateway returns a gateway publishing lla_gateway_* metrics on reg
+	// (which may be nil).
+	NewGateway = gateway.New
+	// ServeGateway starts the gateway's HTTP server on addr.
+	ServeGateway = gateway.Serve
+	// MultiRecorder fans Begin/Commit out to several recorders.
+	MultiRecorder = obs.MultiRecorder
+	// MultiSink fans trace events out to several sinks.
+	MultiSink = obs.MultiSink
+)
 
 // ChaosConfig tunes deterministic, seeded fault injection.
 type ChaosConfig = transport.ChaosConfig

@@ -3,7 +3,8 @@
 # scripts/benchparse), failing if the sparse converged-step path is not
 # faster than the dense one, an accelerated price solver needs more
 # rounds-to-converge than the reference gradient, or a warm checkpoint
-# restart does not re-converge in fewer rounds than a cold one.
+# restart does not re-converge in fewer rounds than a cold one, or the
+# binary wire frame is not at least 10x smaller than its JSON equivalent.
 #
 #   scripts/bench.sh [output.json]
 #   BENCHTIME=200ms scripts/bench.sh     # quicker smoke run (CI)
@@ -14,7 +15,7 @@ out="${1:-BENCH_core.json}"
 benchtime="${BENCHTIME:-1s}"
 
 go test -run '^$' \
-  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge|BenchmarkRecoveryRounds' \
+  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge|BenchmarkRecoveryRounds|BenchmarkWireCodec$' \
   -benchtime "$benchtime" -json . \
   | go run ./scripts/benchparse -o "$out" -check
 

@@ -80,6 +80,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
 			os.Exit(1)
 		}
+		if err := checkWireCompression(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -257,6 +261,33 @@ func checkRecoveryWarmFaster(recs []record) error {
 		return fmt.Errorf("warm recovery (%.0f rounds) is not below cold re-convergence (%.0f rounds)", warm, cold)
 	}
 	fmt.Fprintf(os.Stderr, "benchparse: check passed: warm recovery %.0f rounds < cold %.0f\n", warm, cold)
+	return nil
+}
+
+// checkWireCompression enforces the binary wire-protocol gate
+// (PROTOCOL.md): a batched price round in binary framing
+// (BenchmarkWireCodec's binary_bytes) must be at least 10x smaller than
+// the legacy JSON frames for the same round (json_bytes). An absent wire
+// benchmark skips the gate (narrower runs stay usable).
+func checkWireCompression(recs []record) error {
+	for _, r := range recs {
+		if trimCPUSuffix(r.Name) != "BenchmarkWireCodec" {
+			continue
+		}
+		bin, okB := r.Metrics["binary_bytes"]
+		js, okJ := r.Metrics["json_bytes"]
+		if !okB || !okJ {
+			return fmt.Errorf("%s did not report binary_bytes and json_bytes", r.Name)
+		}
+		if bin <= 0 || js <= 0 {
+			return fmt.Errorf("%s reported degenerate sizes: binary=%.0f json=%.0f", r.Name, bin, js)
+		}
+		if 10*bin > js {
+			return fmt.Errorf("binary price batch (%.0f B) is not >=10x smaller than its JSON frames (%.0f B)", bin, js)
+		}
+		fmt.Fprintf(os.Stderr, "benchparse: check passed: wire batch %.0f B binary vs %.0f B JSON (%.1fx)\n", bin, js, js/bin)
+		return nil
+	}
 	return nil
 }
 
