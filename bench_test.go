@@ -28,6 +28,7 @@ import (
 	"lla/internal/baseline"
 	"lla/internal/core"
 	"lla/internal/eval"
+	"lla/internal/fleet"
 	"lla/internal/price"
 	rec "lla/internal/recover"
 	"lla/internal/sim"
@@ -582,6 +583,91 @@ func BenchmarkRecoveryRounds(b *testing.B) {
 			restored.Close()
 		}
 		b.ReportMetric(rounds, "rounds")
+	})
+}
+
+// BenchmarkFleetConverge measures the hierarchical sharded fleet
+// (SHARDING.md). "clustered" runs the mid-size clustered workload through a
+// 4-shard fleet and the single-engine reference side by side, reporting the
+// aggregator's boundary rounds against the single engine's KKT rounds —
+// scripts/benchparse gates rounds <= 2x single_rounds, the hierarchy's
+// price-iteration overhead bound. "1m" is ROADMAP item 1's headline scale
+// target: one million subtasks partitioned across 16 shards, end to end to
+// certification; benchparse gates converged == 1. Both runs are
+// deterministic (seeded partitions, per-shard bitwise-reproducible sweeps).
+func BenchmarkFleetConverge(b *testing.B) {
+	b.Run("clustered", func(b *testing.B) {
+		var rounds, single, boundary float64
+		for i := 0; i < b.N; i++ {
+			w, err := workload.Clustered(workload.DefaultClusteredConfig(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := fleet.New(w, fleet.Config{Shards: 4, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := f.Run()
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Converged {
+				b.Fatal("fleet did not certify")
+			}
+			e, err := core.NewEngine(w, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap, ok := e.RunUntilKKT(20000, 1e-6, 3, 1e-6)
+			e.Close()
+			if !ok {
+				b.Fatal("single engine did not reach KKT stationarity")
+			}
+			rounds = float64(res.Rounds)
+			single = float64(snap.Iteration)
+			boundary = float64(res.BoundaryCount)
+		}
+		b.ReportMetric(rounds, "rounds")
+		b.ReportMetric(single, "single_rounds")
+		b.ReportMetric(boundary, "boundary")
+	})
+	b.Run("1m", func(b *testing.B) {
+		cfg := workload.DefaultClusteredConfig(1)
+		cfg.Clusters = 16
+		cfg.TasksPerCluster = 125
+		cfg.ReplicateFactor = 100
+		cfg.ResourcesPerCluster = 500
+		cfg.MinSubtasks = 5
+		cfg.MaxSubtasks = 5
+		cfg.ChainOnly = true
+		cfg.SlackFactor = 400
+		cfg.CrossFraction = 0.002
+		var converged, rounds, subtasks float64
+		for i := 0; i < b.N; i++ {
+			w, err := workload.Clustered(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := fleet.New(w, fleet.Config{Shards: 16, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := f.Run()
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			converged = 0
+			if res.Converged {
+				converged = 1
+			}
+			rounds = float64(res.Rounds)
+			subtasks = float64(w.TotalSubtasks())
+		}
+		b.ReportMetric(converged, "converged")
+		b.ReportMetric(rounds, "rounds")
+		b.ReportMetric(subtasks, "subtasks")
 	})
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"lla/internal/core"
 	"lla/internal/dist"
+	"lla/internal/fleet"
 	"lla/internal/obs"
 	"lla/internal/price"
 	rec "lla/internal/recover"
@@ -55,8 +56,8 @@ func main() {
 type nodeFlags struct {
 	workloadArg, registryPath, role, id, debugAddr, tracePath, solver, checkpointDir *string
 	wireMode                                                                        *string
-	demo, printRegistry, sparse                                                     *bool
-	rounds, workers, checkpointEvery                                                *int
+	demo, printRegistry, sparse, fleetMode                                          *bool
+	rounds, workers, checkpointEvery, shards                                        *int
 }
 
 // newFlagSet declares the full lla-node flag set.
@@ -81,6 +82,9 @@ func newFlagSet() (*flag.FlagSet, *nodeFlags) {
 			"demo mode: rounds between periodic checkpoint saves (0 = a default period)"),
 		wireMode: fs.String("wire", "binary",
 			"TCP message framing: binary (the PROTOCOL.md codec, negotiated per connection with automatic JSON fallback for pre-codec peers) or json (legacy length-prefixed JSON)"),
+		fleetMode: fs.Bool("fleet", false,
+			"run the hierarchical sharded fleet in-process: partition the workload across shard engines and iterate only the boundary prices (SHARDING.md)"),
+		shards: fs.Int("shards", 4, "fleet mode: number of coordinator shards"),
 	}
 	return fs, f
 }
@@ -136,6 +140,10 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Println(string(out))
 		return nil
+	}
+
+	if *f.fleetMode {
+		return runFleet(w, cfg, *f.shards, *rounds, o, *f.wireMode)
 	}
 
 	if *demo {
@@ -258,6 +266,41 @@ func buildObserver(debugAddr, tracePath string) (*obs.Observer, func(), error) {
 			c()
 		}
 	}, nil
+}
+
+// runFleet hosts the hierarchical sharded fleet (SHARDING.md) in one
+// process: the workload is partitioned across shard engines, boundary
+// resource prices iterate at the aggregator, and with binary framing every
+// PRICE_AGG/BOUNDARY exchange round-trips through the wire codec.
+func runFleet(w *workload.Workload, cfg core.Config, shards, rounds int, o *obs.Observer, wireMode string) error {
+	f, err := fleet.New(w, fleet.Config{
+		Shards:     shards,
+		Seed:       1,
+		Engine:     cfg,
+		MaxRounds:  rounds,
+		WireVerify: wireMode == "binary",
+		Observer:   o,
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	part := f.Partition()
+	fmt.Fprintf(os.Stderr, "fleet: %d tasks across %d shards, %d boundary resources (cut %d)\n",
+		len(w.Tasks), part.Shards, len(part.Boundary), part.CutCost)
+	res, err := f.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged=%v rounds=%d local_iters=%d kkt=%.3g boundary_residual=%.3g utility=%.3f\n",
+		res.Converged, res.Rounds, res.LocalIters, res.KKTMax, res.BoundaryResidual, res.Utility)
+	for s := 0; s < part.Shards; s++ {
+		fmt.Printf("  shard %d: %d tasks\n", s, len(part.ShardTasks[s]))
+	}
+	if !res.Converged {
+		return fmt.Errorf("fleet did not certify within %d rounds", res.Rounds)
+	}
+	return nil
 }
 
 // runDemo hosts the full deployment in one process over TCP loopback. With a

@@ -37,7 +37,7 @@ func TestHelpListsEveryFlag(t *testing.T) {
 		"rounds": true, "demo": true, "print-registry": true,
 		"debug-addr": true, "trace": true, "workers": true, "sparse": true,
 		"solver": true, "checkpoint-dir": true, "checkpoint-every": true,
-		"wire": true,
+		"wire": true, "fleet": true, "shards": true,
 	}
 	fs, _ := newFlagSet()
 	var buf bytes.Buffer
@@ -162,6 +162,22 @@ func TestDemoPrototype(t *testing.T) {
 
 	if err := run(context.Background(), []string{"-workload", "prototype", "-demo", "-rounds", "300"}); err != nil {
 		t.Fatalf("demo: %v", err)
+	}
+}
+
+// TestFleetMode runs the in-process sharded fleet on the base workload and
+// checks it certifies (the command errors if the fleet fails to converge).
+func TestFleetMode(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run(context.Background(), []string{"-workload", "base", "-fleet", "-shards", "2", "-workers", "1"}); err != nil {
+		t.Fatalf("fleet: %v", err)
 	}
 }
 

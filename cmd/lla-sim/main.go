@@ -58,6 +58,7 @@ var experiments = []struct {
 	{"churn", eval.Churn},
 	{"solvers", eval.Solvers},
 	{"soak", eval.Soak},
+	{"fleet", eval.Fleet},
 }
 
 // experimentIDs lists every registered experiment id, in run order.
@@ -83,7 +84,7 @@ type simFlags struct {
 	wireMode, gatewayAddr                                           *string
 	quick, sparse                                                   *bool
 	seed                                                            *int64
-	workers, sampleEvery, checkpointEvery                           *int
+	workers, sampleEvery, checkpointEvery, shards                   *int
 }
 
 // newFlagSet declares the full lla-sim flag set.
@@ -111,6 +112,8 @@ func newFlagSet() (*flag.FlagSet, *simFlags) {
 			"message framing for distributed-runtime experiments (soak): binary (PROTOCOL.md codec) or json (legacy framing) — results are bitwise identical"),
 		gatewayAddr: fs.String("gateway-addr", "",
 			"serve the live SSE control-plane gateway (/stream, /state) on this address while experiments run"),
+		shards: fs.Int("shards", 0,
+			"fleet experiment: number of coordinator shards (0 = experiment default; see SHARDING.md)"),
 	}
 	return fs, f
 }
@@ -193,7 +196,7 @@ func run(args []string) error {
 		return err
 	}
 	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o, Sparse: sparseMode(*sparse), Solver: sol,
-		CheckpointDir: *f.checkpointDir, CheckpointEvery: *f.checkpointEvery, Wire: *f.wireMode}
+		CheckpointDir: *f.checkpointDir, CheckpointEvery: *f.checkpointEvery, Wire: *f.wireMode, Shards: *f.shards}
 	for _, name := range selected {
 		res, err := runners[name](opts)
 		if err != nil {

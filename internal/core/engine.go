@@ -161,7 +161,7 @@ type Engine struct {
 	// fixed-point flags; shardSkipped is the per-shard skip tally folded
 	// into sstats after the join.
 	sparse       bool
-	inc          incidence
+	inc          Incidence
 	fpMu         []float64
 	fpCong       []bool
 	ctlSolved    []bool
@@ -182,6 +182,14 @@ type Engine struct {
 	dynAvail []float64
 	dynCurv  []float64
 	dynDelta float64
+
+	// Pinned-price state (pin.go). pinned is nil until the first PinPrice —
+	// standalone engines pay one nil-check per resource phase. A pinned
+	// resource's price is owned externally (the fleet boundary aggregator):
+	// the resource phase still reduces its demand but never moves its price,
+	// and its congestion flag is the externally supplied one.
+	pinned     []bool
+	pinnedCong []bool
 
 	// obsv holds the attached observability channels (nil = disabled); the
 	// hot path pays one nil-check per Step when nothing is attached.
@@ -291,8 +299,12 @@ func (e *Engine) Step() {
 	default:
 		for ri, a := range e.agents {
 			sum := a.ShareSumFrom(e.shares)
-			a.UpdatePrice(sum)
 			e.shareSums[ri] = sum
+			if e.pinned != nil && e.pinned[ri] {
+				e.congested[ri] = e.pinnedCong[ri]
+				continue
+			}
+			a.UpdatePrice(sum)
 			e.congested[ri] = a.Congested(sum)
 		}
 	}
@@ -320,10 +332,19 @@ func (e *Engine) resourcePhaseSparse() {
 			continue
 		}
 		sum := a.ShareSumFrom(e.shares)
-		changed := a.UpdatePrice(sum)
 		e.shareSums[ri] = sum
-		e.congested[ri] = a.Congested(sum)
-		e.agentStable[ri] = !changed
+		if e.pinned != nil && e.pinned[ri] {
+			// Pinned price: the reduction refreshes the cached demand but the
+			// price and congestion flag are externally owned. agentStable is
+			// trivially true — a no-op "update" is a bitwise fixed point — so
+			// the resource goes clean as soon as its contributors freeze.
+			e.congested[ri] = e.pinnedCong[ri]
+			e.agentStable[ri] = true
+		} else {
+			changed := a.UpdatePrice(sum)
+			e.congested[ri] = a.Congested(sum)
+			e.agentStable[ri] = !changed
+		}
 		e.sumValid[ri] = true
 		repriced++
 	}
@@ -353,7 +374,11 @@ func (e *Engine) resourcePhaseDyn() {
 	for ri, a := range e.agents {
 		sum := a.ShareSumFrom(e.shares)
 		e.shareSums[ri] = sum
-		e.congested[ri] = a.Congested(sum)
+		if e.pinned != nil && e.pinned[ri] {
+			e.congested[ri] = e.pinnedCong[ri]
+		} else {
+			e.congested[ri] = a.Congested(sum)
+		}
 		e.dynAvail[ri] = e.p.Resources[ri].Availability
 	}
 	if e.dyn.NeedsCurvature() {
@@ -371,6 +396,12 @@ func (e *Engine) resourcePhaseDyn() {
 	})
 	maxd := 0.0
 	for ri, a := range e.agents {
+		if e.pinned != nil && e.pinned[ri] {
+			// The Dynamics advanced the whole vector; a pinned coordinate's
+			// move is discarded — its price is externally owned.
+			e.mu[ri] = a.Mu
+			continue
+		}
 		if d := math.Abs(e.mu[ri] - a.Mu); d > maxd {
 			maxd = d
 		}

@@ -1,0 +1,109 @@
+package core
+
+// Pinned-price support for hierarchical sharding (SHARDING.md). A fleet
+// shard's engine owns only its local tasks; a boundary resource — one whose
+// demand comes from tasks in more than one shard — cannot be priced from any
+// single shard's partial demand. The fleet aggregator therefore pins boundary
+// prices: the shard engine keeps reducing its local demand on the resource
+// every Step (the aggregator reads it via ShareSumAt), but the price update
+// is suppressed and the congestion flag is the externally supplied one.
+//
+// Pinning composes with the sparse active-set path without invalidation: the
+// controllers' input fingerprints compare the mu/congested snapshot bitwise,
+// so an out-of-band PinPrice re-activates exactly the controllers that
+// observe the pinned resource on their next Step, and a pinned resource's
+// cached demand stays valid until one of its contributors re-solves with
+// changed latencies (the ordinary dirty propagation).
+//
+// Pins are deliberately not carried by Fork or checkpoints: they are
+// fleet-session state owned by the aggregator, which re-pins every boundary
+// price after any shard restart (it would be stale otherwise).
+
+import "fmt"
+
+// ResourceIndex returns the compiled index of the resource with the given
+// ID, or -1 if the problem has no such resource. Callers doing repeated
+// per-resource access (the fleet aggregator) resolve IDs once at setup.
+func (e *Engine) ResourceIndex(id string) int {
+	for ri := range e.p.Resources {
+		if e.p.Resources[ri].ID == id {
+			return ri
+		}
+	}
+	return -1
+}
+
+// MuAt returns the current price of resource ri.
+func (e *Engine) MuAt(ri int) float64 { return e.agents[ri].Mu }
+
+// ShareSumAt returns resource ri's total demanded share as of the latest
+// resource phase (or the construction-time refresh before the first Step).
+func (e *Engine) ShareSumAt(ri int) float64 { return e.shareSums[ri] }
+
+// CongestedAt returns resource ri's congestion flag as seen by the
+// controllers' adaptive path-step heuristic.
+func (e *Engine) CongestedAt(ri int) bool { return e.congested[ri] }
+
+// PinnedAt reports whether resource ri's price is externally pinned.
+func (e *Engine) PinnedAt(ri int) bool { return e.pinned != nil && e.pinned[ri] }
+
+// CurvatureAt returns resource ri's demand-response curvature
+// −∂(Σ share)/∂μ at the current latencies and price, summed over its
+// subtasks in compiled Subs order (the same serial order as curvatureInto,
+// so per-shard sums aggregate to the single-engine value bitwise when the
+// contributor sets coincide).
+func (e *Engine) CurvatureAt(ri int) float64 {
+	mu := e.agents[ri].Mu
+	c := 0.0
+	for _, sub := range e.p.Resources[ri].Subs {
+		c += e.p.ResponseSlope(sub[0], sub[1], e.controllers[sub[0]].LatMs[sub[1]], mu)
+	}
+	return c
+}
+
+// PinPrice fixes resource ri's price and congestion flag to externally
+// supplied values. Subsequent Steps keep reducing the resource's demand but
+// never move its price; the pin stays in force until UnpinPrice. The sparse
+// path needs no blanket invalidation: a changed price or congestion bit
+// shows up in the observing controllers' fingerprints on the next Step.
+func (e *Engine) PinPrice(ri int, mu float64, congested bool) error {
+	if ri < 0 || ri >= len(e.agents) {
+		return fmt.Errorf("core: pin: resource index %d out of range [0,%d)", ri, len(e.agents))
+	}
+	if !(mu >= 0) { // also rejects NaN
+		return fmt.Errorf("core: pin: price must be >= 0, got %v", mu)
+	}
+	if e.pinned == nil {
+		e.pinned = make([]bool, len(e.agents))
+		e.pinnedCong = make([]bool, len(e.agents))
+	}
+	a := e.agents[ri]
+	changed := !e.pinned[ri] || a.Mu != mu || e.pinnedCong[ri] != congested
+	e.pinned[ri] = true
+	e.pinnedCong[ri] = congested
+	a.Mu = mu
+	e.congested[ri] = congested
+	// Accelerated dynamics extrapolate from iterate history; an out-of-band
+	// price move is a discontinuity that history must not straddle.
+	if changed && e.dyn != nil {
+		e.dyn.Invalidate()
+	}
+	return nil
+}
+
+// UnpinPrice returns resource ri's price to engine ownership; the next
+// resource phase reprices it from current demand. Unpinning an unpinned
+// resource is a no-op.
+func (e *Engine) UnpinPrice(ri int) {
+	if e.pinned == nil || ri < 0 || ri >= len(e.agents) || !e.pinned[ri] {
+		return
+	}
+	e.pinned[ri] = false
+	// The agent's gradient state was frozen while pinned; force a real
+	// reprice on the next sparse phase rather than trusting a stale
+	// fixed-point flag.
+	e.agentStable[ri] = false
+	if e.dyn != nil {
+		e.dyn.Invalidate()
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"lla/internal/price"
+	"lla/internal/workload"
+)
+
+// pinTestEngine builds an engine over the base workload with the given
+// sparse mode and solver.
+func pinTestEngine(t *testing.T, sparse SparseMode, solver price.Solver) *Engine {
+	t.Helper()
+	e, err := NewEngine(workload.Base(), Config{Workers: 1, Sparse: sparse, PriceSolver: solver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestPinPriceHoldsPrice asserts a pinned price never moves under any
+// resource-phase variant while unpinned prices keep iterating.
+func TestPinPriceHoldsPrice(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		sparse SparseMode
+		solver price.Solver
+	}{
+		{"dense gradient", SparseOff, price.SolverGradient},
+		{"sparse gradient", SparseOn, price.SolverGradient},
+		{"dense newton", SparseOff, price.SolverNewton},
+		{"sparse newton", SparseOn, price.SolverNewton},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := pinTestEngine(t, tc.sparse, tc.solver)
+			const pinMu = 3.25
+			if err := e.PinPrice(0, pinMu, true); err != nil {
+				t.Fatal(err)
+			}
+			if !e.PinnedAt(0) {
+				t.Fatal("PinnedAt(0) = false after PinPrice")
+			}
+			for i := 0; i < 50; i++ {
+				e.Step()
+				if got := e.MuAt(0); got != pinMu {
+					t.Fatalf("iter %d: pinned price moved: %v != %v", i, got, pinMu)
+				}
+				if !e.CongestedAt(0) {
+					t.Fatalf("iter %d: pinned congestion flag lost", i)
+				}
+			}
+			moved := false
+			for ri := 1; ri < len(e.agents); ri++ {
+				if e.MuAt(ri) != e.cfg.InitialMu {
+					moved = true
+				}
+			}
+			if !moved {
+				t.Fatal("no unpinned price moved in 50 iterations")
+			}
+		})
+	}
+}
+
+// TestPinPriceDemandTracksControllers asserts the pinned resource's demand
+// keeps being reduced: raising the pinned price must shrink the local share
+// sum on that resource.
+func TestPinPriceDemandTracksControllers(t *testing.T) {
+	e := pinTestEngine(t, SparseOn, price.SolverGradient)
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	before := e.ShareSumAt(0)
+	if err := e.PinPrice(0, e.MuAt(0)*50, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	after := e.ShareSumAt(0)
+	if !(after < before) {
+		t.Fatalf("demand did not fall after 50x price pin: before=%v after=%v", before, after)
+	}
+}
+
+// TestUnpinPriceResumesPricing asserts UnpinPrice returns the resource to
+// engine ownership.
+func TestUnpinPriceResumesPricing(t *testing.T) {
+	e := pinTestEngine(t, SparseOn, price.SolverGradient)
+	if err := e.PinPrice(0, 1e-6, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		e.Step()
+	}
+	e.UnpinPrice(0)
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	if e.MuAt(0) == 1e-6 {
+		t.Fatal("price never moved after UnpinPrice")
+	}
+}
+
+// TestPinPriceSparseMatchesDense asserts the sparse path stays bitwise equal
+// to the dense path under pinning — including pins applied mid-run.
+func TestPinPriceSparseMatchesDense(t *testing.T) {
+	dense := pinTestEngine(t, SparseOff, price.SolverGradient)
+	sparse := pinTestEngine(t, SparseOn, price.SolverGradient)
+	for i := 0; i < 300; i++ {
+		if i == 40 {
+			for _, e := range []*Engine{dense, sparse} {
+				if err := e.PinPrice(1, 2.5, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if i == 150 {
+			dense.UnpinPrice(1)
+			sparse.UnpinPrice(1)
+		}
+		dense.Step()
+		sparse.Step()
+		ds, ss := dense.Snapshot(), sparse.Snapshot()
+		if ds.Utility != ss.Utility {
+			t.Fatalf("iter %d: utility diverged: dense=%v sparse=%v", i, ds.Utility, ss.Utility)
+		}
+		for ri := range ds.Mu {
+			if ds.Mu[ri] != ss.Mu[ri] || ds.ShareSums[ri] != ss.ShareSums[ri] {
+				t.Fatalf("iter %d resource %d: dense/sparse mismatch", i, ri)
+			}
+		}
+	}
+}
+
+// TestPinPriceRejectsBadInputs covers the defensive paths.
+func TestPinPriceRejectsBadInputs(t *testing.T) {
+	e := pinTestEngine(t, SparseOn, price.SolverGradient)
+	if err := e.PinPrice(-1, 1, false); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := e.PinPrice(len(e.agents), 1, false); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := e.PinPrice(0, -1, false); err == nil {
+		t.Fatal("negative price accepted")
+	}
+	e.UnpinPrice(99) // no-op, must not panic
+	if e.ResourceIndex("no-such-resource") != -1 {
+		t.Fatal("unknown resource resolved")
+	}
+	if ri := e.ResourceIndex(e.p.Resources[0].ID); ri != 0 {
+		t.Fatalf("ResourceIndex = %d, want 0", ri)
+	}
+}

@@ -50,13 +50,15 @@ func (m SparseMode) String() string {
 	}
 }
 
-// incidence is the CSR-style index of the bipartite task/resource structure,
+// Incidence is the CSR-style index of the bipartite task/resource structure,
 // built once at engine construction: which distinct resources a task's
 // controller observes (the mu/congested slots it fingerprints), and which
 // distinct tasks contribute shares to a resource (the dirty-propagation
 // fan-in of its price update). Both directions are flat int32 arrays so the
-// per-Step scans stay cache-dense and allocation-free.
-type incidence struct {
+// per-Step scans stay cache-dense and allocation-free. It is exported for
+// structure-aware consumers outside the engine — the fleet partitioner walks
+// it to compute balanced min-cut shard assignments (SHARDING.md).
+type Incidence struct {
 	// taskResOff/taskRes: task ti observes resources
 	// taskRes[taskResOff[ti]:taskResOff[ti+1]], in first-appearance order.
 	taskResOff []int32
@@ -67,9 +69,29 @@ type incidence struct {
 	resTask    []int32
 }
 
-// newIncidence builds both CSR directions from the compiled problem.
-func newIncidence(p *Problem) incidence {
-	var inc incidence
+// NumTasks returns the task count the index was built over.
+func (inc *Incidence) NumTasks() int { return len(inc.taskResOff) - 1 }
+
+// NumResources returns the resource count the index was built over.
+func (inc *Incidence) NumResources() int { return len(inc.resTaskOff) - 1 }
+
+// TaskResources returns the distinct resources task ti touches, in
+// first-appearance order. The returned slice aliases the index; callers must
+// not mutate it.
+func (inc *Incidence) TaskResources(ti int) []int32 {
+	return inc.taskRes[inc.taskResOff[ti]:inc.taskResOff[ti+1]]
+}
+
+// ResourceTasks returns the distinct tasks contributing shares to resource
+// ri, in first-appearance order. The returned slice aliases the index;
+// callers must not mutate it.
+func (inc *Incidence) ResourceTasks(ri int) []int32 {
+	return inc.resTask[inc.resTaskOff[ri]:inc.resTaskOff[ri+1]]
+}
+
+// NewIncidence builds both CSR directions from the compiled problem.
+func NewIncidence(p *Problem) Incidence {
+	var inc Incidence
 	inc.taskResOff = make([]int32, len(p.Tasks)+1)
 	seenRes := make([]int32, len(p.Resources))
 	for i := range seenRes {
@@ -202,7 +224,7 @@ func (e *Engine) invalidateSparse() {
 // problem. Called from NewEngine regardless of mode so the toggles can be
 // compared without re-allocating; the dense path never reads these.
 func (e *Engine) initSparse() {
-	e.inc = newIncidence(e.p)
+	e.inc = NewIncidence(e.p)
 	e.fpMu = make([]float64, len(e.inc.taskRes))
 	e.fpCong = make([]bool, len(e.inc.taskRes))
 	e.ctlSolved = make([]bool, len(e.p.Tasks))

@@ -1,0 +1,490 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"lla/internal/core"
+	"lla/internal/obs"
+	"lla/internal/price"
+	"lla/internal/transport"
+	"lla/internal/wire"
+	"lla/internal/workload"
+)
+
+// Config configures a sharded fleet.
+type Config struct {
+	// Shards is the shard count K (>= 1; clamped to the task count).
+	Shards int
+	// Seed drives the partitioner's refinement order.
+	Seed int64
+	// BalanceSlack and Passes tune the partitioner (0 = defaults).
+	BalanceSlack float64
+	Passes       int
+
+	// Engine configures every shard engine (zero value = paper defaults).
+	// The fleet is the same optimization as one engine over the full
+	// workload: each shard runs these dynamics on its sub-problem with the
+	// boundary prices pinned.
+	Engine core.Config
+
+	// BoundarySolver selects the aggregator's dynamics over the boundary
+	// price vector — gradient or diagonal-Newton ("" = the Engine config's
+	// solver, which defaults to gradient). Diagonal Newton consumes the
+	// shard-summed demand curvature carried by the BOUNDARY frames.
+	BoundarySolver price.Solver
+
+	// LocalIters caps one shard sweep (0 = 400). LocalKKTTol, LocalWindow
+	// and Tol form the sweep's stopping rule (0 = KKTTol, 2, 1e-6).
+	LocalIters  int
+	LocalKKTTol float64
+	LocalWindow int
+	// LocalFreeze makes sweeps run to the bitwise frozen fixed point (every
+	// Step a no-op) instead of the KKT window — the mode the bitwise
+	// single-engine equivalence tests use. Requires a sparse, non-dyn
+	// engine config; other configs simply run LocalIters.
+	LocalFreeze bool
+
+	// MaxRounds caps aggregator rounds (0 = 300).
+	MaxRounds int
+	// KKTTol bounds the worst shard-local KKT residual at certification
+	// (0 = 1e-6); Tol bounds constraint violations (0 = 1e-6); BoundaryTol
+	// bounds the boundary residual — relative overload and relative price
+	// movement (0 = 1e-6). Window is how many consecutive rounds must
+	// certify (0 = 2).
+	KKTTol      float64
+	Tol         float64
+	BoundaryTol float64
+	Window      int
+
+	// WireVerify routes every PRICE_AGG broadcast and BOUNDARY demand
+	// report through an encode/decode round trip of the binary wire codec,
+	// consuming the decoded values — the in-process stand-in for the
+	// distributed deployment's frame path.
+	WireVerify bool
+	// RecordHashes captures every shard's FNV-1a state hash after each
+	// round into Result.ShardHashes (the determinism certificate).
+	RecordHashes bool
+
+	// Observer receives lla_fleet_* metrics and fleet trace events (nil =
+	// disabled).
+	Observer *obs.Observer
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.LocalIters == 0 {
+		c.LocalIters = 400
+	}
+	if c.KKTTol == 0 {
+		c.KKTTol = 1e-6
+	}
+	if c.LocalKKTTol == 0 {
+		c.LocalKKTTol = c.KKTTol
+	}
+	if c.LocalWindow == 0 {
+		c.LocalWindow = 2
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 300
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-6
+	}
+	if c.BoundaryTol == 0 {
+		c.BoundaryTol = 1e-6
+	}
+	if c.Window == 0 {
+		c.Window = 2
+	}
+	return c
+}
+
+// Result summarizes one fleet run.
+type Result struct {
+	// Converged reports whether the certification held for Window
+	// consecutive rounds before MaxRounds.
+	Converged bool
+	// Rounds is the number of aggregator rounds executed; LocalIters the
+	// total shard engine iterations they consumed.
+	Rounds     int
+	LocalIters int
+	// KKTMax is the worst shard-local KKT residual at exit;
+	// BoundaryResidual the worst boundary residual (relative overload /
+	// relative price movement).
+	KKTMax           float64
+	BoundaryResidual float64
+	// Utility is the global aggregate utility (sum over shards).
+	Utility float64
+	// BoundaryCount and CutCost describe the partition.
+	BoundaryCount int
+	CutCost       int
+	// ShardHashes[r][s] is shard s's state hash after round r (only with
+	// Config.RecordHashes).
+	ShardHashes [][]uint64
+}
+
+// Fleet is the hierarchical runtime: K shard engines under one boundary
+// price aggregator. The aggregator owns the prices of the cross-shard
+// resources (pinned in every shard that touches them) and iterates only
+// that vector; everything else converges inside the shards.
+type Fleet struct {
+	cfg    Config
+	ecfg   core.Config
+	part   *Partition
+	shards []*shardRuntime
+
+	// Boundary state, indexed by boundary slot (aligned with
+	// part.Boundary): resource ID, capacity, the aggregator's price
+	// iterate, the aggregated demand and curvature of the last round, the
+	// externally owned congestion flags, and the last update's relative
+	// per-coordinate movement.
+	bid     []string
+	bavail  []float64
+	bmu     []float64
+	bdemand []float64
+	bcurv   []float64
+	bcong   []bool
+	bmove   []float64
+
+	bdyn     price.Dynamics
+	needCurv bool
+
+	codec *wire.Codec
+	obsv  *obs.Observer
+	fm    *obs.FleetMetrics
+}
+
+// New partitions the workload, builds one engine per shard, and pins every
+// boundary resource to the initial price.
+func New(w *workload.Workload, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	ecfg := cfg.Engine.WithDefaults()
+	p, err := core.Compile(w, ecfg.WeightMode)
+	if err != nil {
+		return nil, err
+	}
+	inc := core.NewIncidence(p)
+	part, err := NewPartition(&inc, PartitionConfig{
+		Shards: cfg.Shards, Seed: cfg.Seed,
+		BalanceSlack: cfg.BalanceSlack, Passes: cfg.Passes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg, ecfg: ecfg, part: part, obsv: cfg.Observer}
+
+	for s := 0; s < part.Shards; s++ {
+		sw := subWorkload(w, fmt.Sprintf("%s/shard%d", w.Name, s), part.ShardTasks[s])
+		eng, err := core.NewEngine(sw, cfg.Engine)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: building shard %d: %w", s, err)
+		}
+		f.shards = append(f.shards, &shardRuntime{id: s, eng: eng})
+	}
+
+	nb := len(part.Boundary)
+	f.bid = make([]string, nb)
+	f.bavail = make([]float64, nb)
+	f.bmu = make([]float64, nb)
+	f.bdemand = make([]float64, nb)
+	f.bcurv = make([]float64, nb)
+	f.bcong = make([]bool, nb)
+	f.bmove = make([]float64, nb)
+	for b, ri := range part.Boundary {
+		f.bid[b] = p.Resources[ri].ID
+		f.bavail[b] = p.Resources[ri].Availability
+		f.bmu[b] = ecfg.InitialMu
+	}
+	for _, s := range f.shards {
+		for b, id := range f.bid {
+			lri := s.eng.ResourceIndex(id)
+			if lri < 0 {
+				continue
+			}
+			s.localRi = append(s.localRi, lri)
+			s.slot = append(s.slot, b)
+			if err := s.eng.PinPrice(lri, f.bmu[b], false); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("fleet: pinning %s on shard %d: %w", id, s.id, err)
+			}
+		}
+	}
+
+	// The boundary price vector runs the same pluggable dynamics as an
+	// engine's resource phase, built through the shared constructor so the
+	// aggregator's update arithmetic is the engine's.
+	bcfg := core.Config{Step: ecfg.Step, PriceSolver: cfg.BoundarySolver}
+	if bcfg.PriceSolver == "" {
+		bcfg.PriceSolver = ecfg.PriceSolver
+	}
+	bcfg = bcfg.WithDefaults()
+	f.bdyn = bcfg.NewDynamics()
+	f.bdyn.Reset(nb)
+	f.needCurv = f.bdyn.NeedsCurvature()
+
+	if cfg.WireVerify {
+		f.codec = wire.NewCodec(nil)
+		if f.obsv != nil {
+			f.codec.Observe(f.obsv.Metrics)
+		}
+	}
+	if f.obsv != nil && f.obsv.Metrics != nil {
+		f.fm = obs.NewFleetMetrics(f.obsv.Metrics)
+		f.fm.BoundaryResources.Set(float64(nb))
+		f.fm.CutCost.Set(float64(part.CutCost))
+	}
+	return f, nil
+}
+
+// Partition exposes the fleet's task partition.
+func (f *Fleet) Partition() *Partition { return f.part }
+
+// Shards returns the effective shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Engine returns shard s's engine (read-only use: tests compare shard state
+// against the single-engine reference).
+func (f *Fleet) Engine(s int) *core.Engine { return f.shards[s].eng }
+
+// Close retires every shard engine's worker pool.
+func (f *Fleet) Close() {
+	for _, s := range f.shards {
+		s.eng.Close()
+	}
+}
+
+// Run drives aggregator rounds until certification or MaxRounds. Each round
+// sweeps every shard to its local fixed point against the pinned boundary
+// prices, aggregates the boundary demand (and curvature, for Newton),
+// checks the certification, and — when not yet certified — advances the
+// boundary price vector one dynamics step and re-pins it everywhere.
+func (f *Fleet) Run() (Result, error) {
+	res := Result{BoundaryCount: len(f.bid), CutCost: f.part.CutCost}
+	stable := 0
+	for res.Rounds < f.cfg.MaxRounds {
+		round := res.Rounds
+		iters := 0
+		for _, s := range f.shards {
+			s.sweep(f.cfg.LocalIters, f.cfg.LocalFreeze, f.cfg.LocalKKTTol, f.cfg.LocalWindow, f.cfg.Tol)
+			iters += s.iters
+		}
+		res.Rounds++
+		res.LocalIters += iters
+
+		if err := f.aggregate(round); err != nil {
+			return res, err
+		}
+		if f.cfg.RecordHashes {
+			hashes := make([]uint64, len(f.shards))
+			for i, s := range f.shards {
+				hashes[i] = s.stateHash()
+			}
+			res.ShardHashes = append(res.ShardHashes, hashes)
+		}
+
+		res.KKTMax, res.BoundaryResidual = f.residuals()
+		feasible := true
+		for _, s := range f.shards {
+			if s.viol >= f.cfg.Tol || s.pathViol >= f.cfg.Tol {
+				feasible = false
+			}
+		}
+		certified := res.KKTMax < f.cfg.KKTTol && feasible && res.BoundaryResidual < f.cfg.BoundaryTol
+
+		f.publish(round, iters, res.BoundaryResidual)
+		if certified {
+			stable++
+			if stable >= f.cfg.Window {
+				res.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+
+		if err := f.updateBoundary(round); err != nil {
+			return res, err
+		}
+	}
+	for _, s := range f.shards {
+		res.Utility += s.eng.Probe().Utility
+	}
+	if f.fm != nil {
+		f.fm.KKTMax.Set(res.KKTMax)
+		f.fm.BoundaryResidual.Set(res.BoundaryResidual)
+		if res.Converged {
+			f.fm.Converged.Set(1)
+		} else {
+			f.fm.Converged.Set(0)
+		}
+	}
+	if res.Converged {
+		f.obsv.Emit(obs.Event{Kind: obs.EventFleetConverged, Round: res.Rounds, Value: res.KKTMax})
+	}
+	return res, nil
+}
+
+// aggregate sums each boundary resource's demand (and curvature) over the
+// shards touching it — in ascending shard order, the serial reduction order
+// a single engine's compiled Subs list induces on a cluster-ordered
+// partition. With WireVerify the per-shard reports round-trip through
+// BOUNDARY frames first and the decoded values are the ones summed.
+func (f *Fleet) aggregate(round int) error {
+	for b := range f.bdemand {
+		f.bdemand[b], f.bcurv[b] = 0, 0
+	}
+	for _, s := range f.shards {
+		if len(s.localRi) == 0 {
+			continue
+		}
+		entries := make([]wire.BoundaryDemand, len(s.localRi))
+		for j, lri := range s.localRi {
+			entries[j] = wire.BoundaryDemand{
+				Round: round, Shard: s.id, Resource: f.bid[s.slot[j]],
+				Demand: s.eng.ShareSumAt(lri),
+			}
+			if f.needCurv {
+				entries[j].Curvature = s.eng.CurvatureAt(lri)
+			}
+		}
+		if f.codec != nil {
+			decoded, err := roundTripPayload[wire.BoundaryDemand](f.codec,
+				fmt.Sprintf("shard/%d", s.id), "coordinator", wire.KindBoundary, entries)
+			if err != nil {
+				return fmt.Errorf("fleet: BOUNDARY round trip (shard %d): %w", s.id, err)
+			}
+			entries = decoded
+		}
+		if len(entries) != len(s.slot) {
+			return fmt.Errorf("fleet: shard %d reported %d boundary entries, want %d", s.id, len(entries), len(s.slot))
+		}
+		for j, e := range entries {
+			b := s.slot[j]
+			if e.Resource != f.bid[b] {
+				return fmt.Errorf("fleet: shard %d entry %d names %q, want %q", s.id, j, e.Resource, f.bid[b])
+			}
+			f.bdemand[b] += e.Demand
+			f.bcurv[b] += e.Curvature
+		}
+		if f.fm != nil {
+			f.fm.Broadcasts.Inc()
+		}
+	}
+	return nil
+}
+
+// residuals returns the worst shard-local KKT residual and the worst
+// boundary residual: the larger of each boundary resource's relative
+// overload max(0, (D−B)/B) and its last update's relative price movement.
+func (f *Fleet) residuals() (kktMax, boundary float64) {
+	for _, s := range f.shards {
+		if s.kktMax > kktMax {
+			kktMax = s.kktMax
+		}
+	}
+	for b := range f.bid {
+		if over := (f.bdemand[b] - f.bavail[b]) / f.bavail[b]; over > boundary {
+			boundary = over
+		}
+		if f.bmove[b] > boundary {
+			boundary = f.bmove[b]
+		}
+	}
+	return kktMax, boundary
+}
+
+// updateBoundary advances the boundary price vector one dynamics step and
+// pins the new prices (with the globally computed congestion flags) into
+// every shard. With WireVerify each shard's pins arrive through a PRICE_AGG
+// frame round trip.
+func (f *Fleet) updateBoundary(round int) error {
+	if len(f.bmu) == 0 {
+		return nil
+	}
+	for b := range f.bcong {
+		f.bcong[b] = f.bdemand[b] > f.bavail[b]*(1+core.CongestionMargin)
+	}
+	prev := make([]float64, len(f.bmu))
+	copy(prev, f.bmu)
+	f.bdyn.Step(price.StepInput{
+		Mu:        f.bmu,
+		ShareSums: f.bdemand,
+		Avail:     f.bavail,
+		Congested: f.bcong,
+		Curvature: f.bcurv,
+	})
+	for b := range f.bmu {
+		f.bmove[b] = math.Abs(f.bmu[b]-prev[b]) / math.Max(prev[b], 1)
+	}
+
+	for _, s := range f.shards {
+		if len(s.localRi) == 0 {
+			continue
+		}
+		entries := make([]wire.BoundaryPrice, len(s.localRi))
+		for j := range s.localRi {
+			b := s.slot[j]
+			entries[j] = wire.BoundaryPrice{Round: round, Resource: f.bid[b], Mu: f.bmu[b], Congested: f.bcong[b]}
+		}
+		if f.codec != nil {
+			decoded, err := roundTripPayload[wire.BoundaryPrice](f.codec,
+				"coordinator", fmt.Sprintf("shard/%d", s.id), wire.KindPriceAgg, entries)
+			if err != nil {
+				return fmt.Errorf("fleet: PRICE_AGG round trip (shard %d): %w", s.id, err)
+			}
+			entries = decoded
+		}
+		for j, e := range entries {
+			if e.Resource != f.bid[s.slot[j]] {
+				return fmt.Errorf("fleet: PRICE_AGG entry %d names %q, want %q", j, e.Resource, f.bid[s.slot[j]])
+			}
+			if err := s.eng.PinPrice(s.localRi[j], e.Mu, e.Congested); err != nil {
+				return fmt.Errorf("fleet: re-pinning %s on shard %d: %w", e.Resource, s.id, err)
+			}
+		}
+		if f.fm != nil {
+			f.fm.Broadcasts.Inc()
+		}
+	}
+	return nil
+}
+
+// publish emits the per-round metrics and trace event.
+func (f *Fleet) publish(round, iters int, boundaryResid float64) {
+	if f.fm != nil {
+		f.fm.Rounds.Inc()
+		f.fm.LocalIters.Add(int64(iters))
+	}
+	f.obsv.Emit(obs.Event{Kind: obs.EventFleetRound, Round: round, Iteration: iters, Value: boundaryResid})
+}
+
+// roundTripPayload encodes one message as a binary frame, decodes it back,
+// and returns the decoded payload entries — failing on any divergence the
+// codec detects (CRC, framing, or field-level validation).
+func roundTripPayload[T any](c *wire.Codec, from, to, kind string, entries []T) ([]T, error) {
+	payload, err := json.Marshal(entries)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := c.Encode(transport.Message{From: from, To: to, Kind: kind, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.Read(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		return nil, err
+	}
+	if out.Kind != kind {
+		return nil, fmt.Errorf("wire round trip changed kind %q -> %q", kind, out.Kind)
+	}
+	var decoded []T
+	if err := json.Unmarshal(out.Payload, &decoded); err != nil {
+		return nil, err
+	}
+	return decoded, nil
+}

@@ -1,0 +1,280 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lla/internal/core"
+	"lla/internal/obs"
+	"lla/internal/price"
+	"lla/internal/workload"
+)
+
+// clusteredWorkload builds the standard test topology.
+func clusteredWorkload(t *testing.T, seed int64, cross float64) *workload.Workload {
+	t.Helper()
+	cfg := workload.DefaultClusteredConfig(seed)
+	cfg.CrossFraction = cross
+	w, err := workload.Clustered(cfg)
+	if err != nil {
+		t.Fatalf("Clustered: %v", err)
+	}
+	return w
+}
+
+// runToFrozen steps a sparse engine until one Step executes zero solves and
+// reprices zero resources — the bitwise frozen fixed point.
+func runToFrozen(t *testing.T, eng *core.Engine, maxIters int) {
+	t.Helper()
+	for i := 0; i < maxIters; i++ {
+		before := eng.SparseStats()
+		eng.Step()
+		after := eng.SparseStats()
+		if after.ExecutedSolves == before.ExecutedSolves &&
+			after.RepricedResources == before.RepricedResources {
+			return
+		}
+	}
+	t.Fatalf("engine did not freeze within %d iterations", maxIters)
+}
+
+// TestFleetOverlapFreeBitwiseMatchesSingle is the headline equivalence: on
+// a partition with no cross-shard resources, the fleet's frozen fixed point
+// is bitwise identical to the single engine's — every latency and every
+// price, bit for bit.
+func TestFleetOverlapFreeBitwiseMatchesSingle(t *testing.T) {
+	w := clusteredWorkload(t, 17, 0)
+	ecfg := core.Config{Workers: 1}
+
+	f, err := New(w, Config{Shards: 4, Seed: 1, Engine: ecfg, LocalFreeze: true, LocalIters: 5000})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	if got := len(f.Partition().Boundary); got != 0 {
+		t.Fatalf("separable workload has %d boundary resources, want 0", got)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("fleet did not certify: %+v", res)
+	}
+
+	single, err := core.NewEngine(w, ecfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer single.Close()
+	runToFrozen(t, single, 20000)
+
+	sp := single.Problem()
+	// Prices, by resource ID.
+	for s := 0; s < f.Shards(); s++ {
+		eng := f.Engine(s)
+		p := eng.Problem()
+		for ri := range p.Resources {
+			id := p.Resources[ri].ID
+			sri := single.ResourceIndex(id)
+			if sri < 0 {
+				t.Fatalf("resource %s missing from single engine", id)
+			}
+			if got, want := eng.MuAt(ri), single.MuAt(sri); got != want {
+				t.Errorf("resource %s price %v, single engine %v", id, got, want)
+			}
+		}
+	}
+	// Latencies, by task name.
+	singleTask := make(map[string]int, len(sp.Tasks))
+	for ti := range sp.Tasks {
+		singleTask[sp.Tasks[ti].Name] = ti
+	}
+	for s := 0; s < f.Shards(); s++ {
+		eng := f.Engine(s)
+		p := eng.Problem()
+		for ti := range p.Tasks {
+			sti, ok := singleTask[p.Tasks[ti].Name]
+			if !ok {
+				t.Fatalf("task %s missing from single engine", p.Tasks[ti].Name)
+			}
+			got := eng.Controller(ti).LatMs
+			want := single.Controller(sti).LatMs
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("task %s latencies %v, single engine %v", p.Tasks[ti].Name, got, want)
+			}
+		}
+	}
+	// And the aggregate utility follows.
+	if got, want := res.Utility, single.Probe().Utility; got != want {
+		t.Errorf("fleet utility %v, single engine %v", got, want)
+	}
+}
+
+// TestFleetCoupledMatchesSingleWithinTol runs a genuinely coupled partition
+// (cross-cluster edges force boundary resources) and gates the fleet's
+// answer against the single engine's certified fixed point.
+func TestFleetCoupledMatchesSingleWithinTol(t *testing.T) {
+	w := clusteredWorkload(t, 23, 0.3)
+	ecfg := core.Config{Workers: 1}
+
+	f, err := New(w, Config{Shards: 4, Seed: 1, Engine: ecfg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	if len(f.Partition().Boundary) == 0 {
+		t.Fatal("coupled workload produced no boundary resources; test is vacuous")
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("fleet did not certify: %+v", res)
+	}
+	if res.KKTMax >= 1e-6 {
+		t.Errorf("certified KKT residual %v, want < 1e-6", res.KKTMax)
+	}
+
+	single, err := core.NewEngine(w, ecfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer single.Close()
+	snap, ok := single.RunUntilKKT(20000, 1e-6, 3, 1e-6)
+	if !ok {
+		t.Fatal("single engine did not converge")
+	}
+	if rel := math.Abs(res.Utility-snap.Utility) / math.Abs(snap.Utility); rel > 1e-3 {
+		t.Errorf("fleet utility %v vs single %v (rel diff %v > 1e-3)", res.Utility, snap.Utility, rel)
+	}
+}
+
+// TestFleetDeterministicHashes certifies per-shard bitwise determinism:
+// identical config and seed reproduce identical per-shard state hashes at
+// every aggregator round.
+func TestFleetDeterministicHashes(t *testing.T) {
+	run := func(wireVerify bool) Result {
+		w := clusteredWorkload(t, 31, 0.25)
+		f, err := New(w, Config{Shards: 4, Seed: 5, Engine: core.Config{Workers: 1},
+			RecordHashes: true, WireVerify: wireVerify})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer f.Close()
+		res, err := f.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(false), run(false)
+	if a.Rounds != b.Rounds || a.Converged != b.Converged {
+		t.Fatalf("runs diverged: %d/%v rounds vs %d/%v", a.Rounds, a.Converged, b.Rounds, b.Converged)
+	}
+	if !reflect.DeepEqual(a.ShardHashes, b.ShardHashes) {
+		t.Fatal("per-shard state hashes differ between identical runs")
+	}
+	if len(a.ShardHashes) != a.Rounds {
+		t.Fatalf("recorded %d hash rounds, want %d", len(a.ShardHashes), a.Rounds)
+	}
+
+	// The binary wire path must be invisible: floats and flags round-trip
+	// bit-exactly, so a WireVerify run reproduces the same trajectory.
+	c := run(true)
+	if !reflect.DeepEqual(a.ShardHashes, c.ShardHashes) {
+		t.Fatal("WireVerify changed the trajectory — codec round trip is not value-preserving")
+	}
+}
+
+// TestFleetBoundaryNewton drives the aggregator with diagonal-Newton
+// boundary dynamics (curvature aggregated over shards) and checks it
+// certifies in no more rounds than MaxRounds.
+func TestFleetBoundaryNewton(t *testing.T) {
+	w := clusteredWorkload(t, 41, 0.3)
+	f, err := New(w, Config{Shards: 4, Seed: 2, Engine: core.Config{Workers: 1},
+		BoundarySolver: price.SolverNewton, WireVerify: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("newton boundary dynamics did not certify: %+v", res)
+	}
+}
+
+// TestFleetObservability checks the lla_fleet_* metric set and the trace
+// events: one fleet_round per executed round, one fleet_converged on
+// certification, and the converged gauge set.
+func TestFleetObservability(t *testing.T) {
+	w := clusteredWorkload(t, 31, 0.25)
+	reg := obs.NewRegistry()
+	sink := obs.NewMemory()
+	f, err := New(w, Config{Shards: 4, Seed: 5, Engine: core.Config{Workers: 1},
+		Observer: &obs.Observer{Metrics: reg, Trace: sink}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("fleet did not certify: %+v", res)
+	}
+	if got := len(sink.ByKind(obs.EventFleetRound)); got != res.Rounds {
+		t.Errorf("%d fleet_round events, want %d", got, res.Rounds)
+	}
+	if got := len(sink.ByKind(obs.EventFleetConverged)); got != 1 {
+		t.Errorf("%d fleet_converged events, want 1", got)
+	}
+	fm := obs.NewFleetMetrics(reg)
+	if got := fm.Rounds.Value(); got != int64(res.Rounds) {
+		t.Errorf("lla_fleet_rounds_total %d, want %d", got, res.Rounds)
+	}
+	if got := fm.LocalIters.Value(); got != int64(res.LocalIters) {
+		t.Errorf("lla_fleet_local_iters_total %d, want %d", got, res.LocalIters)
+	}
+	if got := fm.Converged.Value(); got != 1 {
+		t.Errorf("lla_fleet_converged %v, want 1", got)
+	}
+	if got := fm.BoundaryResources.Value(); got != float64(res.BoundaryCount) {
+		t.Errorf("lla_fleet_boundary_resources %v, want %d", got, res.BoundaryCount)
+	}
+}
+
+// TestFleetParallelWorkers runs the coupled fleet with the engines' default
+// parallel controller phase: the worker count must not change the result
+// (the engine is bitwise worker-count independent), and the run must be
+// race-clean under -race.
+func TestFleetParallelWorkers(t *testing.T) {
+	w := clusteredWorkload(t, 31, 0.25)
+	serial, err := New(w, Config{Shards: 3, Seed: 7, Engine: core.Config{Workers: 1}, RecordHashes: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer serial.Close()
+	sres, err := serial.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	parallel, err := New(w, Config{Shards: 3, Seed: 7, Engine: core.Config{Workers: 4}, RecordHashes: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer parallel.Close()
+	pres, err := parallel.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(sres.ShardHashes, pres.ShardHashes) {
+		t.Fatal("worker count changed the fleet trajectory")
+	}
+}

@@ -1,0 +1,226 @@
+// Package fleet implements hierarchical multi-coordinator sharding
+// (SHARDING.md, ROADMAP item 1): a deterministic balanced min-cut
+// partitioner over the core CSR incidence index, a shard runtime wrapping
+// one core.Engine per shard, and a top-level aggregator that iterates only
+// on cross-shard ("boundary") resource prices — the decomposition of the
+// Agrawal/Boyd price-discovery method applied to the paper's dual. Each
+// shard's subproblem is just a smaller instance of the same Lagrangian, so
+// the shard engines run their configured price.Dynamics unchanged, and on a
+// partition with no cross-shard resources the fleet trajectory is bitwise
+// identical to the single engine's.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"lla/internal/core"
+)
+
+// PartitionConfig parametrizes the task partitioner.
+type PartitionConfig struct {
+	// Shards is the number of shards K (>= 1; clamped to the task count).
+	Shards int
+	// Seed drives the refinement pass's task visit order. The partition is a
+	// pure function of (incidence, config) — identical inputs produce
+	// identical partitions on every run and GOMAXPROCS setting.
+	Seed int64
+	// BalanceSlack bounds shard size: no shard exceeds
+	// ceil(numTasks/K * (1+BalanceSlack)). 0 means the default 0.2.
+	BalanceSlack float64
+	// Passes is the number of greedy refinement passes (0 = default 3).
+	Passes int
+}
+
+// Partition assigns every task to exactly one shard and identifies the
+// boundary resources — those receiving shares from tasks in more than one
+// shard, whose prices the top-level aggregator owns.
+type Partition struct {
+	// Shards is the effective shard count.
+	Shards int
+	// TaskShard[ti] is the shard of task ti.
+	TaskShard []int
+	// ShardTasks[s] lists shard s's tasks in ascending task order.
+	ShardTasks [][]int
+	// Boundary lists the cross-shard resource indices, ascending.
+	Boundary []int
+	// CutCost is Σ_r max(0, shards touching r − 1): the number of
+	// shard-resource attachments the aggregator must reconcile.
+	CutCost int
+}
+
+// NewPartition computes a seeded, balanced, small-cut partition of the tasks
+// into cfg.Shards shards. Initial assignment is contiguous blocks (cluster-
+// ordered workloads land whole clusters in one shard); greedy refinement
+// passes then move tasks toward shards their resources already touch, each
+// move strictly reducing the cut under the balance cap. If naive round-robin
+// would beat the refined cut (pathological topologies), round-robin is used
+// instead — the result never cuts more than round-robin. Every shard always
+// holds at least one task (refinement never drains a shard).
+func NewPartition(inc *core.Incidence, cfg PartitionConfig) (*Partition, error) {
+	n, nr := inc.NumTasks(), inc.NumResources()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fleet: Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("fleet: cannot partition an empty problem")
+	}
+	k := cfg.Shards
+	if k > n {
+		k = n
+	}
+	slack := cfg.BalanceSlack
+	if slack <= 0 {
+		slack = 0.2
+	}
+	passes := cfg.Passes
+	if passes <= 0 {
+		passes = 3
+	}
+	capacity := int(math.Ceil(float64(n) / float64(k) * (1 + slack)))
+	if capacity < 1 {
+		capacity = 1
+	}
+
+	// Contiguous-block initial assignment: task i -> shard i*k/n. Block
+	// sizes differ by at most one, so the balance cap holds from the start.
+	assign := make([]int, n)
+	count := make([]int, k)
+	for i := range assign {
+		s := i * k / n
+		assign[i] = s
+		count[s]++
+	}
+
+	// cnt[r*k+s] counts shard s's tasks touching resource r; mask holds the
+	// same as a per-resource shard bitset so candidate shards and cut costs
+	// come from O(degree) scans, not O(k) ones.
+	words := (k + 63) / 64
+	cnt := make([]int32, nr*k)
+	mask := make([]uint64, nr*words)
+	for i := 0; i < n; i++ {
+		s := assign[i]
+		for _, r32 := range inc.TaskResources(i) {
+			r := int(r32)
+			if cnt[r*k+s] == 0 {
+				mask[r*words+s/64] |= 1 << (s % 64)
+			}
+			cnt[r*k+s]++
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(n)
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for _, i := range order {
+			s0 := assign[i]
+			if count[s0] == 1 {
+				continue // never empty a shard: every shard keeps >= 1 task
+			}
+			res := inc.TaskResources(i)
+			// Candidates: shards already touching one of i's resources.
+			// Moving elsewhere can only add cut edges.
+			best, bestDelta := -1, 0
+			for w := 0; w < words; w++ {
+				var m uint64
+				for _, r32 := range res {
+					m |= mask[int(r32)*words+w]
+				}
+				for m != 0 {
+					b := bits.TrailingZeros64(m)
+					m &^= 1 << b
+					s := w*64 + b
+					if s == s0 || count[s] >= capacity {
+						continue
+					}
+					delta := 0
+					for _, r32 := range res {
+						r := int(r32)
+						if cnt[r*k+s] == 0 {
+							delta++ // move attaches r to a new shard
+						}
+						if cnt[r*k+s0] == 1 {
+							delta-- // move detaches r from s0
+						}
+					}
+					// Strict improvement only (bestDelta starts at 0), first
+					// candidate wins ties — s iterates ascending, so the
+					// tie-break is the lowest shard index: deterministic.
+					if delta < bestDelta {
+						best, bestDelta = s, delta
+					}
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			count[s0]--
+			count[best]++
+			assign[i] = best
+			for _, r32 := range res {
+				r := int(r32)
+				cnt[r*k+s0]--
+				if cnt[r*k+s0] == 0 {
+					mask[r*words+s0/64] &^= 1 << (s0 % 64)
+				}
+				if cnt[r*k+best] == 0 {
+					mask[r*words+best/64] |= 1 << (best % 64)
+				}
+				cnt[r*k+best]++
+			}
+			moved++
+		}
+		if moved == 0 {
+			break
+		}
+	}
+
+	// Guarantee: never worse than naive round-robin. Round-robin is also
+	// perfectly balanced, so swapping it in cannot violate the balance cap.
+	greedyCut, _ := cutOf(inc, assign, k)
+	rr := make([]int, n)
+	for i := range rr {
+		rr[i] = i % k
+	}
+	rrCut, _ := cutOf(inc, rr, k)
+	if rrCut < greedyCut {
+		assign = rr
+	}
+
+	cut, boundary := cutOf(inc, assign, k)
+	p := &Partition{
+		Shards:     k,
+		TaskShard:  assign,
+		ShardTasks: make([][]int, k),
+		Boundary:   boundary,
+		CutCost:    cut,
+	}
+	for i, s := range assign {
+		p.ShardTasks[s] = append(p.ShardTasks[s], i)
+	}
+	return p, nil
+}
+
+// cutOf computes the cut cost and boundary resource list of an assignment.
+func cutOf(inc *core.Incidence, assign []int, k int) (cut int, boundary []int) {
+	nr := inc.NumResources()
+	seen := make([]int, k) // stamped with r+1
+	for r := 0; r < nr; r++ {
+		distinct := 0
+		for _, t32 := range inc.ResourceTasks(r) {
+			s := assign[t32]
+			if seen[s] != r+1 {
+				seen[s] = r + 1
+				distinct++
+			}
+		}
+		if distinct > 1 {
+			cut += distinct - 1
+			boundary = append(boundary, r)
+		}
+	}
+	return cut, boundary
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"math"
+
+	"lla/internal/core"
+	"lla/internal/utility"
+	"lla/internal/workload"
+)
+
+// shardRuntime wraps one shard's engine: the sub-workload's tasks with their
+// original data, boundary resources pinned to the aggregator's prices.
+type shardRuntime struct {
+	id  int
+	eng *core.Engine
+
+	// localRi[j] is the engine-local resource index of the shard's j-th
+	// present boundary resource; slot[j] is its index into the fleet's
+	// boundary vectors. Both ascend in boundary order.
+	localRi []int
+	slot    []int
+
+	// Certification state refreshed by sweep.
+	iters    int     // engine iterations consumed by the last sweep
+	kktMax   float64 // shard-local KKT residual after the last sweep
+	viol     float64 // worst unpinned resource violation (absolute)
+	pathViol float64 // worst path violation fraction
+}
+
+// subWorkload extracts the tasks of one shard, keeping task and resource
+// order as in the full workload. Order preservation is what makes the
+// shard's compiled sub-problem a projection of the full one: every per-task
+// datum is identical and every resource's Subs list is the original list
+// filtered to the shard's tasks — so an overlap-free shard reproduces the
+// single engine's per-component arithmetic bit for bit.
+func subWorkload(w *workload.Workload, name string, taskIdx []int) *workload.Workload {
+	sub := &workload.Workload{
+		Name:   name,
+		Curves: make(map[string]utility.Curve, len(taskIdx)),
+	}
+	used := make(map[string]bool)
+	for _, ti := range taskIdx {
+		t := w.Tasks[ti].Clone()
+		sub.Tasks = append(sub.Tasks, t)
+		sub.Curves[t.Name] = w.Curves[t.Name]
+		for _, s := range t.Subtasks {
+			used[s.Resource] = true
+		}
+	}
+	for _, r := range w.Resources {
+		if used[r.ID] {
+			sub.Resources = append(sub.Resources, r)
+		}
+	}
+	return sub
+}
+
+// sweep runs the shard's local price dynamics against the current pinned
+// boundary prices until the shard-local fixed point: the KKT/feasibility
+// window rule, or — in freeze mode, and as an early exit on the sparse
+// path — until a Step executes zero solves and reprices zero resources,
+// meaning the state is bitwise frozen and further Steps are no-ops.
+// maxIters always caps the sweep. The certification fields are refreshed
+// on exit.
+func (s *shardRuntime) sweep(maxIters int, freeze bool, kktTol float64, window int, tol float64) {
+	if window < 1 {
+		window = 1
+	}
+	stable := 0
+	s.iters = 0
+	sparse := s.eng.SparseEnabled()
+	for s.iters < maxIters {
+		var before core.SparseStats
+		if sparse {
+			before = s.eng.SparseStats()
+		}
+		s.eng.Step()
+		s.iters++
+		if sparse {
+			after := s.eng.SparseStats()
+			if after.ExecutedSolves == before.ExecutedSolves &&
+				after.RepricedResources == before.RepricedResources {
+				break // bitwise frozen: replaying the Step changes nothing
+			}
+		}
+		if freeze {
+			continue
+		}
+		kktMax, _, _ := s.eng.KKTStats()
+		pr := s.eng.Probe()
+		if kktMax < kktTol && s.unpinnedViolation() < tol && pr.MaxPathViolationFrac < tol {
+			stable++
+			if stable >= window {
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	s.kktMax, _, _ = s.eng.KKTStats()
+	s.viol = s.unpinnedViolation()
+	s.pathViol = s.eng.Probe().MaxPathViolationFrac
+}
+
+// unpinnedViolation is the worst absolute capacity violation over the
+// shard's unpinned resources — the shard-owned half of primal feasibility.
+// Pinned (boundary) resources are excluded: their prices are the
+// aggregator's iterate, and while it is still searching, local demand
+// against an underpriced boundary resource legitimately exceeds capacity.
+// The aggregator checks boundary feasibility globally instead.
+func (s *shardRuntime) unpinnedViolation() float64 {
+	p := s.eng.Problem()
+	v := 0.0
+	for ri := range p.Resources {
+		if s.eng.PinnedAt(ri) {
+			continue
+		}
+		if over := s.eng.ShareSumAt(ri) - p.Resources[ri].Availability; over > v {
+			v = over
+		}
+	}
+	return v
+}
+
+// stateHash is an FNV-1a 64 hash over the shard's full optimization state —
+// every resource price and every subtask latency, bit for bit. Equal hashes
+// across runs at every aggregator round are the fleet's per-shard
+// determinism certificate.
+func (s *shardRuntime) stateHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	p := s.eng.Problem()
+	for ri := range p.Resources {
+		mix(math.Float64bits(s.eng.MuAt(ri)))
+	}
+	for ti := range p.Tasks {
+		for _, l := range s.eng.Controller(ti).LatMs {
+			mix(math.Float64bits(l))
+		}
+	}
+	return h
+}

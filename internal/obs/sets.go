@@ -272,6 +272,47 @@ func NewGatewayMetrics(r *Registry) *GatewayMetrics {
 	}
 }
 
+// FleetMetrics is the hierarchical sharding metric set (SHARDING.md): the
+// top-level aggregator's boundary-price iteration and the partition it runs
+// over.
+type FleetMetrics struct {
+	// Rounds counts completed aggregator rounds (local sweeps + one
+	// boundary-price update).
+	Rounds *Counter
+	// LocalIters counts shard engine iterations summed across shards.
+	LocalIters *Counter
+	// Broadcasts counts boundary-price pins broadcast to shards.
+	Broadcasts *Counter
+	// BoundaryResources is the number of cross-shard resources the
+	// aggregator iterates on.
+	BoundaryResources *Gauge
+	// CutCost is the partition cut Σ_r (shards touching r − 1).
+	CutCost *Gauge
+	// BoundaryResidual is the last round's worst boundary residual: the
+	// larger of the relative capacity overload and the relative
+	// boundary-price movement.
+	BoundaryResidual *Gauge
+	// KKTMax is the worst shard-local KKT residual of the last round.
+	KKTMax *Gauge
+	// Converged is 1 once the KKT stopping rule has certified the global
+	// fixed point, else 0.
+	Converged *Gauge
+}
+
+// NewFleetMetrics registers the fleet metric set on r.
+func NewFleetMetrics(r *Registry) *FleetMetrics {
+	return &FleetMetrics{
+		Rounds:            r.Counter("lla_fleet_rounds_total", "Completed aggregator rounds."),
+		LocalIters:        r.Counter("lla_fleet_local_iters_total", "Shard engine iterations, summed across shards."),
+		Broadcasts:        r.Counter("lla_fleet_broadcasts_total", "Boundary-price pins broadcast to shards."),
+		BoundaryResources: r.Gauge("lla_fleet_boundary_resources", "Cross-shard resources the aggregator iterates on."),
+		CutCost:           r.Gauge("lla_fleet_cut_cost", "Partition cut: sum over resources of (touching shards - 1)."),
+		BoundaryResidual:  r.Gauge("lla_fleet_boundary_residual", "Worst boundary residual of the last round."),
+		KKTMax:            r.Gauge("lla_fleet_kkt_residual_max", "Worst shard-local KKT residual of the last round."),
+		Converged:         r.Gauge("lla_fleet_converged", "1 once the global fixed point is certified, else 0."),
+	}
+}
+
 // RecoverMetrics is the crash-recovery metric set: checkpoint writes,
 // restores, the coordinator generation, and the fencing/rejoin counters that
 // prove a dead generation stayed dead.

@@ -42,6 +42,14 @@ const (
 	// generation; Value is the new epoch, Round the emission cursor at
 	// restart.
 	EventEpochBump = "epoch_bump"
+	// EventFleetRound fires per completed aggregator round of the sharded
+	// fleet; Round is the aggregator round, Iteration the shard iterations
+	// it consumed, Value the worst boundary residual after the round.
+	EventFleetRound = "fleet_round"
+	// EventFleetConverged fires when the fleet aggregator certifies the
+	// global fixed point; Round is the certifying round, Value the worst
+	// shard-local KKT residual.
+	EventFleetConverged = "fleet_converged"
 )
 
 // Event is one structured trace event. Unused fields are omitted from the

@@ -124,6 +124,16 @@ func (c *Codec) encodeBody(m transport.Message, dict bool) (ft, flags byte, body
 			e.svarint(int64(vs[0].Round))
 			e.uvarint(vs[0].Epoch)
 		}
+	case KindPriceAgg:
+		if ps, isBatch, ok := parsePayload[BoundaryPrice](m.Payload); ok {
+			ft, batch = FramePriceAgg, isBatch
+			c.encPriceAgg(e, ps, dict)
+		}
+	case KindBoundary:
+		if bs, isBatch, ok := parsePayload[BoundaryDemand](m.Payload); ok {
+			ft, batch = FrameBoundary, isBatch
+			c.encBoundary(e, bs, dict)
+		}
 	}
 	if ft == 0 {
 		ft = FrameRaw
@@ -325,6 +335,12 @@ func (c *Codec) decodeBody(ft, flags byte, body []byte) (transport.Message, erro
 		v.Round = int(d.svarint())
 		v.Epoch = d.uvarint()
 		m.Payload = marshalOne(d, batch, &v)
+	case FramePriceAgg:
+		m.Kind = KindPriceAgg
+		m.Payload = marshalEntries(d, c.decPriceAgg(d, dict), batch)
+	case FrameBoundary:
+		m.Kind = KindBoundary
+		m.Payload = marshalEntries(d, c.decBoundary(d, dict), batch)
 	case FrameRaw:
 		if batch {
 			d.fail("batch flag on a RAW frame")

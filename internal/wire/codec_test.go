@@ -52,6 +52,9 @@ func corpus(t testing.TB) []transport.Message {
 		msg(t, "res/disk2", "ctl/beta", "fin", Fin{Resource: "disk2"}),
 		msg(t, "coordinator", "ctl/alpha", "rejoin", Rejoin{Epoch: 4}),
 		msg(t, "ctl/alpha", "coordinator", "rejoinAck", RejoinAck{Epoch: 4, Task: "alpha", Round: -1}),
+		msg(t, "coordinator", "shard/0", "priceAgg", BoundaryPrice{Round: 6, Resource: "cpu0", Mu: 2.125, Congested: true}),
+		msg(t, "shard/1", "coordinator", "boundary", BoundaryDemand{Round: 6, Shard: 1, Resource: "net1", Demand: 0.875, Curvature: 0.25}),
+		msg(t, "shard/2", "coordinator", "boundary", BoundaryDemand{Round: 7, Shard: 2, Resource: "disk2", Demand: 1.5}),
 		msg(t, "admit-client-1", "coordinator", "admitQuery", map[string]any{"task": "gamma", "budget": 3.5}),
 	}
 }
@@ -120,6 +123,18 @@ func TestRoundTripBatched(t *testing.T) {
 		{Round: 4, Task: "beta", Delta: true},
 	})
 	assertSame(t, batchLat, roundTrip(t, c, batchLat))
+
+	batchAgg := msg(t, "coordinator", "shard/0", "priceAgg", []BoundaryPrice{
+		{Round: 2, Resource: "cpu0", Mu: 1.5, Congested: true},
+		{Round: 2, Resource: "net1", Mu: 0},
+	})
+	assertSame(t, batchAgg, roundTrip(t, c, batchAgg))
+
+	batchBdy := msg(t, "shard/3", "coordinator", "boundary", []BoundaryDemand{
+		{Round: 2, Shard: 3, Resource: "cpu0", Demand: 0.5, Curvature: 0.125},
+		{Round: 2, Shard: 3, Resource: "disk2", Demand: 1},
+	})
+	assertSame(t, batchBdy, roundTrip(t, c, batchBdy))
 }
 
 // TestCrossCodecEquivalence is the JSON<->binary suite: for every corpus

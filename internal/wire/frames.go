@@ -65,6 +65,27 @@ type RejoinAck struct {
 	Round int    `json:"round"`
 }
 
+// BoundaryPrice is one entry of the fleet aggregator's boundary-price
+// broadcast (SHARDING.md): the externally owned price and congestion flag a
+// shard must pin on a cross-shard resource for the next local sweep.
+type BoundaryPrice struct {
+	Round     int     `json:"round"`
+	Resource  string  `json:"resource"`
+	Mu        float64 `json:"mu"`
+	Congested bool    `json:"congested,omitempty"`
+}
+
+// BoundaryDemand is one entry of a shard's boundary report: the shard's
+// local share demand (and optionally demand-response curvature, for the
+// diagonal-Newton aggregator) on a cross-shard resource after a local sweep.
+type BoundaryDemand struct {
+	Round     int     `json:"round"`
+	Shard     int     `json:"shard"`
+	Resource  string  `json:"resource"`
+	Demand    float64 `json:"demand"`
+	Curvature float64 `json:"curvature,omitempty"`
+}
+
 // Message kinds with a dedicated frame type. They mirror the internal/dist
 // kind tags; any other kind rides a RAW frame.
 const (
@@ -75,6 +96,8 @@ const (
 	KindFin       = "fin"
 	KindRejoin    = "rejoin"
 	KindRejoinAck = "rejoinAck"
+	KindPriceAgg  = "priceAgg"
+	KindBoundary  = "boundary"
 )
 
 // Per-entry flag bits of PRICE frames.
@@ -91,6 +114,18 @@ const (
 	latFlagDelta  = 0x01
 	latFlagSeq    = 0x02
 	latFlagsKnown = latFlagDelta | latFlagSeq
+)
+
+// Per-entry flag bits of PRICE_AGG frames.
+const (
+	aggFlagCongested = 0x01
+	aggFlagsKnown    = aggFlagCongested
+)
+
+// Per-entry flag bits of BOUNDARY frames.
+const (
+	bdyFlagCurvature = 0x01
+	bdyFlagsKnown    = bdyFlagCurvature
 )
 
 // Address tags. Endpoint addresses follow the dist naming scheme
@@ -238,6 +273,45 @@ func (c *Codec) encLatency(e *enc, batch []ShareReport, dict bool) {
 	}
 }
 
+// encPriceAgg appends a PRICE_AGG body (entry count + entries).
+func (c *Codec) encPriceAgg(e *enc, batch []BoundaryPrice, dict bool) {
+	e.uvarint(uint64(len(batch)))
+	for i := range batch {
+		p := &batch[i]
+		c.resRef(e, p.Resource, dict)
+		e.svarint(int64(p.Round))
+		var fl byte
+		if p.Congested {
+			fl |= aggFlagCongested
+		}
+		e.u8(fl)
+		e.f64(p.Mu)
+	}
+}
+
+// encBoundary appends a BOUNDARY body (entry count + entries). The curvature
+// rides behind a presence flag so gradient-aggregator reports (curvature
+// always zero) stay 8 bytes smaller per entry and round-trip the struct's
+// omitempty JSON exactly.
+func (c *Codec) encBoundary(e *enc, batch []BoundaryDemand, dict bool) {
+	e.uvarint(uint64(len(batch)))
+	for i := range batch {
+		b := &batch[i]
+		c.resRef(e, b.Resource, dict)
+		e.svarint(int64(b.Round))
+		e.uvarint(uint64(b.Shard))
+		var fl byte
+		if b.Curvature != 0 {
+			fl |= bdyFlagCurvature
+		}
+		e.u8(fl)
+		e.f64(b.Demand)
+		if fl&bdyFlagCurvature != 0 {
+			e.f64(b.Curvature)
+		}
+	}
+}
+
 // Decode side ------------------------------------------------------------
 
 // readResRef reads a resource id.
@@ -312,6 +386,52 @@ func (c *Codec) decPrice(d *dec, dict bool) []PriceUpdate {
 			p.Mu = d.f64()
 		}
 		out = append(out, p)
+	}
+	return out
+}
+
+// decPriceAgg reads a PRICE_AGG body.
+func (c *Codec) decPriceAgg(d *dec, dict bool) []BoundaryPrice {
+	n := d.count(maxBatch)
+	out := make([]BoundaryPrice, 0, min(n, 4096))
+	for i := 0; i < n && d.err == nil; i++ {
+		var p BoundaryPrice
+		p.Resource = c.readResRef(d, dict)
+		p.Round = int(d.svarint())
+		fl := d.u8()
+		if fl&^byte(aggFlagsKnown) != 0 {
+			d.fail("reserved price-agg entry flag bits 0x%02x", fl)
+		}
+		p.Congested = fl&aggFlagCongested != 0
+		p.Mu = d.f64()
+		out = append(out, p)
+	}
+	return out
+}
+
+// decBoundary reads a BOUNDARY body.
+func (c *Codec) decBoundary(d *dec, dict bool) []BoundaryDemand {
+	n := d.count(maxBatch)
+	out := make([]BoundaryDemand, 0, min(n, 4096))
+	for i := 0; i < n && d.err == nil; i++ {
+		var b BoundaryDemand
+		b.Resource = c.readResRef(d, dict)
+		b.Round = int(d.svarint())
+		b.Shard = int(d.uvarint())
+		fl := d.u8()
+		if fl&^byte(bdyFlagsKnown) != 0 {
+			d.fail("reserved boundary entry flag bits 0x%02x", fl)
+		}
+		b.Demand = d.f64()
+		if fl&bdyFlagCurvature != 0 {
+			b.Curvature = d.f64()
+			if b.Curvature == 0 {
+				// Zero curvature is encoded by omitting the field; a present
+				// zero would break the byte-identical JSON round trip.
+				d.fail("explicit zero curvature in boundary entry")
+			}
+		}
+		out = append(out, b)
 	}
 	return out
 }

@@ -52,6 +52,8 @@ const (
 	FrameFin       = 0x05 // resource fin handshake (finMsg)
 	FrameRejoin    = 0x06 // coordinator rejoin announcement (rejoinMsg)
 	FrameRejoinAck = 0x07 // controller rejoin answer (rejoinAckMsg)
+	FramePriceAgg  = 0x08 // batched fleet boundary-price broadcast (BoundaryPrice)
+	FrameBoundary  = 0x09 // batched shard boundary-demand report (BoundaryDemand)
 	FrameRaw       = 0x0F // escape hatch: any kind, verbatim JSON payload
 )
 
@@ -66,6 +68,8 @@ func FrameTypes() map[string]byte {
 		"FIN":        FrameFin,
 		"REJOIN":     FrameRejoin,
 		"REJOIN_ACK": FrameRejoinAck,
+		"PRICE_AGG":  FramePriceAgg,
+		"BOUNDARY":   FrameBoundary,
 		"RAW":        FrameRaw,
 	}
 }

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestClusteredDeterminism(t *testing.T) {
+	cfg := DefaultClusteredConfig(42)
+	a, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatal("same config produced different workloads")
+	}
+
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c, err := Clustered(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestClusteredSeparableWhenCrossZero(t *testing.T) {
+	cfg := DefaultClusteredConfig(7)
+	cfg.CrossFraction = 0
+	w, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range w.Tasks {
+		prefix := tk.Name[:strings.Index(tk.Name, "-")+1]
+		for _, s := range tk.Subtasks {
+			if !strings.HasPrefix(s.Resource, prefix) {
+				t.Fatalf("CrossFraction=0 but task %s has subtask on foreign resource %s", tk.Name, s.Resource)
+			}
+		}
+	}
+}
+
+func TestClusteredCrossEdgesPresent(t *testing.T) {
+	cfg := DefaultClusteredConfig(7)
+	cfg.CrossFraction = 0.5
+	cfg.TasksPerCluster = 20
+	w, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := 0
+	for _, tk := range w.Tasks {
+		prefix := tk.Name[:strings.Index(tk.Name, "-")+1]
+		for _, s := range tk.Subtasks {
+			if !strings.HasPrefix(s.Resource, prefix) {
+				cross++
+			}
+		}
+	}
+	if cross == 0 {
+		t.Fatal("CrossFraction=0.5 produced no cross-cluster edges")
+	}
+}
+
+func TestClusteredReplicateFactorScales(t *testing.T) {
+	cfg := DefaultClusteredConfig(5)
+	cfg.ReplicateFactor = 3
+	w, err := Clustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Clusters * cfg.TasksPerCluster * cfg.ReplicateFactor
+	if len(w.Tasks) != want {
+		t.Fatalf("got %d tasks, want %d", len(w.Tasks), want)
+	}
+}
+
+func TestClusteredRejectsBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*ClusteredConfig)
+	}{
+		{"zero clusters", func(c *ClusteredConfig) { c.Clusters = 0 }},
+		{"zero replicate", func(c *ClusteredConfig) { c.ReplicateFactor = 0 }},
+		{"negative cross", func(c *ClusteredConfig) { c.CrossFraction = -0.1 }},
+		{"cross above one", func(c *ClusteredConfig) { c.CrossFraction = 1.5 }},
+		{"zero tasks", func(c *ClusteredConfig) { c.TasksPerCluster = 0 }},
+		{"subtasks exceed pool", func(c *ClusteredConfig) { c.MaxSubtasks = c.ResourcesPerCluster + 1 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultClusteredConfig(1)
+			tc.mut(&cfg)
+			if _, err := Clustered(cfg); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+// FuzzClusteredSeed asserts that any seed and cross fraction yields either a
+// clean error or a valid, deterministic workload.
+func FuzzClusteredSeed(f *testing.F) {
+	f.Add(int64(0), 0.0)
+	f.Add(int64(42), 0.15)
+	f.Add(int64(-9), 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, cross float64) {
+		cfg := DefaultClusteredConfig(seed)
+		cfg.TasksPerCluster = 3
+		cfg.CrossFraction = cross
+		a, err := Clustered(cfg)
+		if err != nil {
+			if !(cross >= 0 && cross <= 1) {
+				return // rejected cleanly
+			}
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("generated workload does not validate: %v", err)
+		}
+		b, err := Clustered(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Fatal("same config produced different workloads")
+		}
+	})
+}

@@ -2,9 +2,11 @@
 # Runs the core optimizer benchmarks and writes BENCH_core.json (parsed via
 # scripts/benchparse), failing if the sparse converged-step path is not
 # faster than the dense one, an accelerated price solver needs more
-# rounds-to-converge than the reference gradient, or a warm checkpoint
-# restart does not re-converge in fewer rounds than a cold one, or the
-# binary wire frame is not at least 10x smaller than its JSON equivalent.
+# rounds-to-converge than the reference gradient, a warm checkpoint
+# restart does not re-converge in fewer rounds than a cold one, the
+# binary wire frame is not at least 10x smaller than its JSON equivalent,
+# the million-subtask sharded fleet fails to certify convergence, or the
+# fleet's boundary rounds exceed twice the single engine's KKT rounds.
 #
 #   scripts/bench.sh [output.json]
 #   BENCHTIME=200ms scripts/bench.sh     # quicker smoke run (CI)
@@ -14,10 +16,22 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_core.json}"
 benchtime="${BENCHTIME:-1s}"
 
+# The raw test2json stream lands in a temp file so a failed gate can still
+# print what ran; the trap reclaims it on every exit path.
+raw="$(mktemp -t bench-raw.XXXXXX)"
+trap 'rm -f "$raw"' EXIT
+
 go test -run '^$' \
-  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge|BenchmarkRecoveryRounds|BenchmarkWireCodec$' \
-  -benchtime "$benchtime" -json . \
-  | go run ./scripts/benchparse -o "$out" -check
+  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge|BenchmarkRecoveryRounds|BenchmarkWireCodec$|BenchmarkFleetConverge' \
+  -benchtime "$benchtime" -json . > "$raw"
+
+# benchparse writes the report before running its gates, so on a gate
+# failure $out still holds every parsed metric — print it as the summary.
+if ! go run ./scripts/benchparse -o "$out" -check < "$raw"; then
+  echo "bench.sh: benchparse gate failed; parsed benchmark report follows" >&2
+  cat "$out" >&2 || true
+  exit 1
+fi
 
 # benchparse exits non-zero on empty input, but guard the artifact too: a
 # truncated or missing report must never be committed as a baseline.

@@ -84,6 +84,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
 			os.Exit(1)
 		}
+		if err := checkFleetConverge(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -287,6 +291,47 @@ func checkWireCompression(recs []record) error {
 		}
 		fmt.Fprintf(os.Stderr, "benchparse: check passed: wire batch %.0f B binary vs %.0f B JSON (%.1fx)\n", bin, js, js/bin)
 		return nil
+	}
+	return nil
+}
+
+// checkFleetConverge enforces the sharded-fleet gates (SHARDING.md): the
+// million-subtask run (BenchmarkFleetConverge/1m) must certify convergence
+// (converged == 1), and on the clustered workload the aggregator's boundary
+// rounds (.../clustered rounds) must not exceed twice the single engine's
+// KKT rounds (single_rounds) — the hierarchy may pay coordination overhead,
+// but never more than 2x in price iterations. Absent fleet benchmarks skip
+// the gate (narrower runs stay usable); a record missing its metrics is an
+// error.
+func checkFleetConverge(recs []record) error {
+	for _, r := range recs {
+		switch trimCPUSuffix(r.Name) {
+		case "BenchmarkFleetConverge/1m":
+			conv, ok := r.Metrics["converged"]
+			if !ok {
+				return fmt.Errorf("%s reported no converged metric", r.Name)
+			}
+			if conv != 1 {
+				return fmt.Errorf("the million-subtask fleet run did not certify convergence (converged=%.0f)", conv)
+			}
+			fmt.Fprintf(os.Stderr, "benchparse: check passed: 1M-subtask fleet certified in %.0f rounds\n",
+				r.Metrics["rounds"])
+		case "BenchmarkFleetConverge/clustered":
+			rounds, okR := r.Metrics["rounds"]
+			single, okS := r.Metrics["single_rounds"]
+			if !okR || !okS {
+				return fmt.Errorf("%s did not report rounds and single_rounds", r.Name)
+			}
+			if single <= 0 {
+				return fmt.Errorf("%s reported a degenerate single-engine baseline (%.0f rounds)", r.Name, single)
+			}
+			if rounds > 2*single {
+				return fmt.Errorf("fleet boundary rounds (%.0f) exceed 2x the single engine's KKT rounds (%.0f)",
+					rounds, single)
+			}
+			fmt.Fprintf(os.Stderr, "benchparse: check passed: fleet rounds %.0f <= 2x single-engine %.0f\n",
+				rounds, single)
+		}
 	}
 	return nil
 }
