@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -593,8 +594,11 @@ func BenchmarkRecoveryRounds(b *testing.B) {
 // scripts/benchparse gates rounds <= 2x single_rounds, the hierarchy's
 // price-iteration overhead bound. "1m" is ROADMAP item 1's headline scale
 // target: one million subtasks partitioned across 16 shards, end to end to
-// certification; benchparse gates converged == 1. Both runs are
-// deterministic (seeded partitions, per-shard bitwise-reproducible sweeps).
+// certification, with serial sweeps; benchparse gates converged == 1.
+// "1m-parallel" is the same problem with 16 concurrent shard sweeps —
+// benchparse gates identical round counts and the parallel speedup. All runs
+// are deterministic (seeded partitions, per-shard bitwise-reproducible
+// sweeps, schedule-independent rounds).
 func BenchmarkFleetConverge(b *testing.B) {
 	b.Run("clustered", func(b *testing.B) {
 		var rounds, single, boundary float64
@@ -632,43 +636,53 @@ func BenchmarkFleetConverge(b *testing.B) {
 		b.ReportMetric(single, "single_rounds")
 		b.ReportMetric(boundary, "boundary")
 	})
-	b.Run("1m", func(b *testing.B) {
-		cfg := workload.DefaultClusteredConfig(1)
-		cfg.Clusters = 16
-		cfg.TasksPerCluster = 125
-		cfg.ReplicateFactor = 100
-		cfg.ResourcesPerCluster = 500
-		cfg.MinSubtasks = 5
-		cfg.MaxSubtasks = 5
-		cfg.ChainOnly = true
-		cfg.SlackFactor = 400
-		cfg.CrossFraction = 0.002
-		var converged, rounds, subtasks float64
-		for i := 0; i < b.N; i++ {
-			w, err := workload.Clustered(cfg)
-			if err != nil {
-				b.Fatal(err)
+	// "1m" (serial sweeps) and "1m-parallel" (16 concurrent sweeps) run the
+	// identical problem; benchparse gates that the parallel run certifies in
+	// the SAME number of rounds (bitwise determinism at the round level) and
+	// at <= 0.5x the serial wall-clock when >= 4 CPUs are available.
+	bench1m := func(shardWorkers int) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := workload.DefaultClusteredConfig(1)
+			cfg.Clusters = 16
+			cfg.TasksPerCluster = 125
+			cfg.ReplicateFactor = 100
+			cfg.ResourcesPerCluster = 500
+			cfg.MinSubtasks = 5
+			cfg.MaxSubtasks = 5
+			cfg.ChainOnly = true
+			cfg.SlackFactor = 400
+			cfg.CrossFraction = 0.002
+			var converged, rounds, subtasks float64
+			for i := 0; i < b.N; i++ {
+				w, err := workload.Clustered(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := fleet.New(w, fleet.Config{Shards: 16, Seed: 1, ShardWorkers: shardWorkers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := f.Run()
+				f.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				converged = 0
+				if res.Converged {
+					converged = 1
+				}
+				rounds = float64(res.Rounds)
+				subtasks = float64(w.TotalSubtasks())
 			}
-			f, err := fleet.New(w, fleet.Config{Shards: 16, Seed: 1})
-			if err != nil {
-				b.Fatal(err)
-			}
-			res, err := f.Run()
-			f.Close()
-			if err != nil {
-				b.Fatal(err)
-			}
-			converged = 0
-			if res.Converged {
-				converged = 1
-			}
-			rounds = float64(res.Rounds)
-			subtasks = float64(w.TotalSubtasks())
+			b.ReportMetric(converged, "converged")
+			b.ReportMetric(rounds, "rounds")
+			b.ReportMetric(subtasks, "subtasks")
+			b.ReportMetric(float64(shardWorkers), "shard_workers")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
 		}
-		b.ReportMetric(converged, "converged")
-		b.ReportMetric(rounds, "rounds")
-		b.ReportMetric(subtasks, "subtasks")
-	})
+	}
+	b.Run("1m", bench1m(1))
+	b.Run("1m-parallel", bench1m(16))
 }
 
 // BenchmarkDistributedRounds measures distributed rounds per second over

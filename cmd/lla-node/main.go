@@ -57,7 +57,7 @@ type nodeFlags struct {
 	workloadArg, registryPath, role, id, debugAddr, tracePath, solver, checkpointDir *string
 	wireMode                                                                        *string
 	demo, printRegistry, sparse, fleetMode                                          *bool
-	rounds, workers, checkpointEvery, shards                                        *int
+	rounds, workers, checkpointEvery, shards, shardWorkers                          *int
 }
 
 // newFlagSet declares the full lla-node flag set.
@@ -85,6 +85,8 @@ func newFlagSet() (*flag.FlagSet, *nodeFlags) {
 		fleetMode: fs.Bool("fleet", false,
 			"run the hierarchical sharded fleet in-process: partition the workload across shard engines and iterate only the boundary prices (SHARDING.md)"),
 		shards: fs.Int("shards", 4, "fleet mode: number of coordinator shards"),
+		shardWorkers: fs.Int("shard-workers", 0,
+			"fleet mode: concurrent shard sweeps per aggregator round (0 = min(shards, GOMAXPROCS), 1 = serial; results are bitwise identical either way)"),
 	}
 	return fs, f
 }
@@ -143,7 +145,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	if *f.fleetMode {
-		return runFleet(w, cfg, *f.shards, *rounds, o, *f.wireMode)
+		return runFleet(w, cfg, *f.shards, *f.shardWorkers, *rounds, o, *f.wireMode)
 	}
 
 	if *demo {
@@ -272,14 +274,15 @@ func buildObserver(debugAddr, tracePath string) (*obs.Observer, func(), error) {
 // process: the workload is partitioned across shard engines, boundary
 // resource prices iterate at the aggregator, and with binary framing every
 // PRICE_AGG/BOUNDARY exchange round-trips through the wire codec.
-func runFleet(w *workload.Workload, cfg core.Config, shards, rounds int, o *obs.Observer, wireMode string) error {
+func runFleet(w *workload.Workload, cfg core.Config, shards, shardWorkers, rounds int, o *obs.Observer, wireMode string) error {
 	f, err := fleet.New(w, fleet.Config{
-		Shards:     shards,
-		Seed:       1,
-		Engine:     cfg,
-		MaxRounds:  rounds,
-		WireVerify: wireMode == "binary",
-		Observer:   o,
+		Shards:       shards,
+		Seed:         1,
+		ShardWorkers: shardWorkers,
+		Engine:       cfg,
+		MaxRounds:    rounds,
+		WireVerify:   wireMode == "binary",
+		Observer:     o,
 	})
 	if err != nil {
 		return err
@@ -292,8 +295,9 @@ func runFleet(w *workload.Workload, cfg core.Config, shards, rounds int, o *obs.
 	if err != nil {
 		return err
 	}
-	fmt.Printf("converged=%v rounds=%d local_iters=%d kkt=%.3g boundary_residual=%.3g utility=%.3f\n",
-		res.Converged, res.Rounds, res.LocalIters, res.KKTMax, res.BoundaryResidual, res.Utility)
+	fmt.Printf("converged=%v rounds=%d local_iters=%d swept=%d skipped=%d shard_workers=%d kkt=%.3g boundary_residual=%.3g utility=%.3f\n",
+		res.Converged, res.Rounds, res.LocalIters, res.SweptShards, res.SkippedShards, res.ShardWorkers,
+		res.KKTMax, res.BoundaryResidual, res.Utility)
 	for s := 0; s < part.Shards; s++ {
 		fmt.Printf("  shard %d: %d tasks\n", s, len(part.ShardTasks[s]))
 	}

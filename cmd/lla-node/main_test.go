@@ -37,7 +37,7 @@ func TestHelpListsEveryFlag(t *testing.T) {
 		"rounds": true, "demo": true, "print-registry": true,
 		"debug-addr": true, "trace": true, "workers": true, "sparse": true,
 		"solver": true, "checkpoint-dir": true, "checkpoint-every": true,
-		"wire": true, "fleet": true, "shards": true,
+		"wire": true, "fleet": true, "shards": true, "shard-workers": true,
 	}
 	fs, _ := newFlagSet()
 	var buf bytes.Buffer

@@ -84,7 +84,7 @@ type simFlags struct {
 	wireMode, gatewayAddr                                           *string
 	quick, sparse                                                   *bool
 	seed                                                            *int64
-	workers, sampleEvery, checkpointEvery, shards                   *int
+	workers, sampleEvery, checkpointEvery, shards, shardWorkers     *int
 }
 
 // newFlagSet declares the full lla-sim flag set.
@@ -114,6 +114,8 @@ func newFlagSet() (*flag.FlagSet, *simFlags) {
 			"serve the live SSE control-plane gateway (/stream, /state) on this address while experiments run"),
 		shards: fs.Int("shards", 0,
 			"fleet experiment: number of coordinator shards (0 = experiment default; see SHARDING.md)"),
+		shardWorkers: fs.Int("shard-workers", 0,
+			"fleet experiment: concurrent shard sweeps per aggregator round (0 = min(shards, GOMAXPROCS), 1 = serial; results are bitwise identical either way)"),
 	}
 	return fs, f
 }
@@ -196,7 +198,8 @@ func run(args []string) error {
 		return err
 	}
 	opts := eval.Options{Quick: *quick, Seed: *seed, Workers: *workers, Observer: o, Sparse: sparseMode(*sparse), Solver: sol,
-		CheckpointDir: *f.checkpointDir, CheckpointEvery: *f.checkpointEvery, Wire: *f.wireMode, Shards: *f.shards}
+		CheckpointDir: *f.checkpointDir, CheckpointEvery: *f.checkpointEvery, Wire: *f.wireMode,
+		Shards: *f.shards, ShardWorkers: *f.shardWorkers}
 	for _, name := range selected {
 		res, err := runners[name](opts)
 		if err != nil {

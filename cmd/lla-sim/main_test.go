@@ -45,7 +45,7 @@ func TestHelpListsEveryFlag(t *testing.T) {
 		"sparse": true, "solver": true, "csv": true, "trace": true,
 		"debug-addr": true, "trace-every": true,
 		"checkpoint-dir": true, "checkpoint-every": true,
-		"wire": true, "gateway-addr": true, "shards": true,
+		"wire": true, "gateway-addr": true, "shards": true, "shard-workers": true,
 	}
 	fs, _ := newFlagSet()
 	var buf bytes.Buffer

@@ -1,0 +1,94 @@
+package core
+
+// State carry-over between engines: the warm-start primitive behind
+// ReplaceWorkload and the fleet's incremental repartitioning
+// (fleet.ReplaceWorkload). A freshly built engine adopts as much of one or
+// more donor engines' optimization state as still applies — resource prices
+// by ID, surviving tasks' latencies and path prices by name — so
+// re-convergence after churn starts from the already-discovered congestion
+// landscape instead of the paper's cold initial point.
+
+// CarryFrom warm-starts the engine from the donors' live state:
+//
+//   - every resource whose ID appears in a donor adopts that donor's current
+//     price;
+//   - every task whose name appears in a donor with identical structure
+//     (same subtask names in order, same path count) adopts that donor's
+//     latencies and path prices, re-clamped into the receiver's (possibly
+//     changed) bounds.
+//
+// Donors are consulted in argument order and the first match wins, so the
+// result is a pure function of (receiver, donor list) — deterministic for
+// the fleet's bitwise guarantees. Anything unmatched keeps the receiver's
+// cold-start value. The receiver's resource caches are refreshed at the end;
+// donors are read-only throughout and must stay alive (not Closed-and-
+// overwritten) until the call returns. Pins are deliberately not carried —
+// they are session state owned by whoever pinned them (see pin.go).
+func (e *Engine) CarryFrom(donors ...*Engine) {
+	muDone := make([]bool, len(e.p.Resources))
+	taskDone := make([]bool, len(e.p.Tasks))
+	for _, d := range donors {
+		d.carryInto(e, muDone, taskDone)
+	}
+	e.refreshResourceState()
+	// Accelerated dynamics must not extrapolate across the carry
+	// discontinuity (relevant when the receiver has already stepped).
+	if e.dyn != nil {
+		e.dyn.Invalidate()
+	}
+}
+
+// carryInto copies d's prices and task state into e where IDs/names match
+// and the slot has not been filled by an earlier donor.
+func (d *Engine) carryInto(e *Engine, muDone, taskDone []bool) {
+	oldMu := make(map[string]float64, len(d.p.Resources))
+	for ri := range d.p.Resources {
+		oldMu[d.p.Resources[ri].ID] = d.agents[ri].Mu
+	}
+	for ri := range e.p.Resources {
+		if muDone[ri] {
+			continue
+		}
+		if mu, ok := oldMu[e.p.Resources[ri].ID]; ok {
+			e.agents[ri].Mu = mu
+			muDone[ri] = true
+		}
+	}
+
+	oldByName := make(map[string]int, len(d.p.Tasks))
+	for ti := range d.p.Tasks {
+		oldByName[d.p.Tasks[ti].Name] = ti
+	}
+	for ti := range e.p.Tasks {
+		if taskDone[ti] {
+			continue
+		}
+		oi, ok := oldByName[e.p.Tasks[ti].Name]
+		if !ok {
+			continue
+		}
+		oldTask, newTask := &d.p.Tasks[oi], &e.p.Tasks[ti]
+		if len(oldTask.SubtaskNames) != len(newTask.SubtaskNames) ||
+			len(oldTask.Paths) != len(newTask.Paths) {
+			continue // structure changed: start this task fresh
+		}
+		same := true
+		for si := range newTask.SubtaskNames {
+			if oldTask.SubtaskNames[si] != newTask.SubtaskNames[si] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		copy(e.controllers[ti].LatMs, d.controllers[oi].LatMs)
+		copy(e.controllers[ti].Lambda, d.controllers[oi].Lambda)
+		// Re-clamp carried latencies into the (possibly changed) bounds.
+		for si := range e.controllers[ti].LatMs {
+			e.controllers[ti].LatMs[si] = clamp(e.controllers[ti].LatMs[si],
+				newTask.LatMinMs[si], newTask.LatMaxMs[si])
+		}
+		taskDone[ti] = true
+	}
+}

@@ -190,6 +190,12 @@ type Engine struct {
 	// and its congestion flag is the externally supplied one.
 	pinned     []bool
 	pinnedCong []bool
+	// pinEpoch counts pin-state changes: it advances whenever a PinPrice
+	// actually moves a pinned value (price or congestion bit) and on every
+	// UnpinPrice. A caller that recorded the epoch at its last sweep can
+	// prove "no pinned input changed since" with one integer compare — the
+	// fleet's shard-level active set rests on it.
+	pinEpoch uint64
 
 	// obsv holds the attached observability channels (nil = disabled); the
 	// hot path pays one nil-check per Step when nothing is attached.

@@ -83,13 +83,23 @@ func (e *Engine) PinPrice(ri int, mu float64, congested bool) error {
 	e.pinnedCong[ri] = congested
 	a.Mu = mu
 	e.congested[ri] = congested
-	// Accelerated dynamics extrapolate from iterate history; an out-of-band
-	// price move is a discontinuity that history must not straddle.
-	if changed && e.dyn != nil {
-		e.dyn.Invalidate()
+	if changed {
+		e.pinEpoch++
+		// Accelerated dynamics extrapolate from iterate history; an
+		// out-of-band price move is a discontinuity that history must not
+		// straddle.
+		if e.dyn != nil {
+			e.dyn.Invalidate()
+		}
 	}
 	return nil
 }
+
+// PinEpoch returns the engine's pin-state epoch: it advances exactly when a
+// PinPrice changes a pinned value (first pin, moved price, or flipped
+// congestion bit) and on every effective UnpinPrice. An unchanged epoch
+// certifies that no pinned input moved since the caller last observed it.
+func (e *Engine) PinEpoch() uint64 { return e.pinEpoch }
 
 // UnpinPrice returns resource ri's price to engine ownership; the next
 // resource phase reprices it from current demand. Unpinning an unpinned
@@ -99,6 +109,7 @@ func (e *Engine) UnpinPrice(ri int) {
 		return
 	}
 	e.pinned[ri] = false
+	e.pinEpoch++
 	// The agent's gradient state was frozen while pinned; force a real
 	// reprice on the next sparse phase rather than trusting a stale
 	// fixed-point flag.

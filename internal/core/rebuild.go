@@ -6,64 +6,18 @@ import (
 
 // ReplaceWorkload swaps the engine's workload for a new one — tasks may
 // join, leave or change structure — while warm-starting the optimizer from
-// the current state: resource prices carry over by resource ID, and the
-// latencies and path prices of tasks that survive (same name, same subtask
-// names, same path count) carry over as well. The paper's system runs
-// continuously as applications come and go (Section 1); warm-started prices
-// re-converge far faster than a cold restart because the congestion
-// landscape of unchanged resources is already priced.
+// the current state via CarryFrom: resource prices carry over by resource
+// ID, and the latencies and path prices of tasks that survive (same name,
+// same subtask names, same path count) carry over as well. The paper's
+// system runs continuously as applications come and go (Section 1);
+// warm-started prices re-converge far faster than a cold restart because
+// the congestion landscape of unchanged resources is already priced.
 func (e *Engine) ReplaceWorkload(w *workload.Workload) error {
 	next, err := NewEngine(w, e.cfg)
 	if err != nil {
 		return err
 	}
-
-	// Carry resource prices over by ID.
-	oldMu := make(map[string]float64, len(e.p.Resources))
-	for ri := range e.p.Resources {
-		oldMu[e.p.Resources[ri].ID] = e.agents[ri].Mu
-	}
-	for ri := range next.p.Resources {
-		if mu, ok := oldMu[next.p.Resources[ri].ID]; ok {
-			next.agents[ri].Mu = mu
-		}
-	}
-
-	// Carry surviving tasks' latencies and path prices over by name.
-	oldByName := make(map[string]int, len(e.p.Tasks))
-	for ti := range e.p.Tasks {
-		oldByName[e.p.Tasks[ti].Name] = ti
-	}
-	for ti := range next.p.Tasks {
-		oi, ok := oldByName[next.p.Tasks[ti].Name]
-		if !ok {
-			continue
-		}
-		oldTask, newTask := &e.p.Tasks[oi], &next.p.Tasks[ti]
-		if len(oldTask.SubtaskNames) != len(newTask.SubtaskNames) ||
-			len(oldTask.Paths) != len(newTask.Paths) {
-			continue // structure changed: start this task fresh
-		}
-		same := true
-		for si := range newTask.SubtaskNames {
-			if oldTask.SubtaskNames[si] != newTask.SubtaskNames[si] {
-				same = false
-				break
-			}
-		}
-		if !same {
-			continue
-		}
-		copy(next.controllers[ti].LatMs, e.controllers[oi].LatMs)
-		copy(next.controllers[ti].Lambda, e.controllers[oi].Lambda)
-		// Re-clamp carried latencies into the (possibly changed) bounds.
-		for si := range next.controllers[ti].LatMs {
-			next.controllers[ti].LatMs[si] = clamp(next.controllers[ti].LatMs[si],
-				newTask.LatMinMs[si], newTask.LatMaxMs[si])
-		}
-	}
-
-	next.refreshResourceState()
+	next.CarryFrom(e)
 	// Retire the old worker pool before the overwrite: next has never
 	// stepped, so its pool field is nil and the replacement engine respawns
 	// workers lazily on its first parallel Step.

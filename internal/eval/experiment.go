@@ -186,6 +186,11 @@ type Options struct {
 	// Shards sets the fleet experiment's shard count (0 = the experiment's
 	// default). Other experiments ignore it.
 	Shards int
+	// ShardWorkers sets the fleet experiment's concurrent shard sweeps per
+	// aggregator round (0 = min(shards, GOMAXPROCS), 1 = serial). Bitwise
+	// identical artifacts at every setting — the fleet asserts it. Other
+	// experiments ignore it.
+	ShardWorkers int
 }
 
 // attach hooks the configured observer (if any) onto an engine. Every

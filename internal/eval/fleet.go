@@ -54,7 +54,7 @@ func Fleet(opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	run := func() (fleet.Result, *obs.Memory, error) {
+	build := func(workers int) (*fleet.Fleet, *obs.Memory, error) {
 		mem := obs.NewMemory()
 		fobs := &obs.Observer{Trace: mem}
 		if opts.Observer != nil {
@@ -66,11 +66,16 @@ func Fleet(opts Options) (*Result, error) {
 		f, err := fleet.New(w, fleet.Config{
 			Shards:       shards,
 			Seed:         opts.Seed,
+			ShardWorkers: workers,
 			Engine:       opts.engineConfig(),
 			WireVerify:   opts.Wire == "binary",
 			RecordHashes: true,
 			Observer:     fobs,
 		})
+		return f, mem, err
+	}
+	run := func(workers int) (fleet.Result, *obs.Memory, error) {
+		f, mem, err := build(workers)
 		if err != nil {
 			return fleet.Result{}, nil, err
 		}
@@ -79,7 +84,10 @@ func Fleet(opts Options) (*Result, error) {
 		return r, mem, err
 	}
 
-	fres, mem, err := run()
+	// Primary run at the requested sweep concurrency (0 = parallel default);
+	// the serial repeat both reproduces the run (bitwise determinism) and
+	// proves the parallel rounds leave no scheduling fingerprint.
+	fres, mem, err := run(opts.ShardWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -87,12 +95,16 @@ func Fleet(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("eval: fleet did not certify within %d rounds (kkt %.3g, boundary %.3g)",
 			fres.Rounds, fres.KKTMax, fres.BoundaryResidual)
 	}
-	repeat, _, err := run()
+	serial, _, err := run(1)
 	if err != nil {
 		return nil, err
 	}
-	if !reflect.DeepEqual(fres.ShardHashes, repeat.ShardHashes) {
-		return nil, fmt.Errorf("eval: fleet repeat run diverged — per-shard state hashes differ")
+	if !reflect.DeepEqual(fres.ShardHashes, serial.ShardHashes) {
+		return nil, fmt.Errorf("eval: parallel fleet (%d sweep workers) diverged from the serial run — per-shard state hashes differ",
+			fres.ShardWorkers)
+	}
+	if !reflect.DeepEqual(fres.BoundaryResiduals, serial.BoundaryResiduals) {
+		return nil, fmt.Errorf("eval: parallel fleet diverged from the serial run — boundary residual series differ")
 	}
 
 	single, err := core.NewEngine(w, opts.engineConfig())
@@ -118,20 +130,78 @@ func Fleet(opts Options) (*Result, error) {
 	}
 	summary := &Table{
 		Title:  "Fleet convergence and partition statistics",
-		Header: []string{"shards", "tasks", "subtasks", "boundary", "cut", "rounds", "local iters", "single iters", "util dev"},
+		Header: []string{"shards", "workers", "tasks", "subtasks", "boundary", "cut", "rounds", "swept", "skipped", "local iters", "single iters", "util dev"},
 	}
 	summary.AddRow(
 		fmt.Sprintf("%d", shards),
+		fmt.Sprintf("%d", fres.ShardWorkers),
 		fmt.Sprintf("%d", len(w.Tasks)),
 		fmt.Sprintf("%d", w.TotalSubtasks()),
 		fmt.Sprintf("%d", fres.BoundaryCount),
 		fmt.Sprintf("%d", fres.CutCost),
 		fmt.Sprintf("%d", fres.Rounds),
+		fmt.Sprintf("%d", fres.SweptShards),
+		fmt.Sprintf("%d", fres.SkippedShards),
 		fmt.Sprintf("%d", fres.LocalIters),
 		fmt.Sprintf("%d", snap.Iteration),
 		fmt.Sprintf("%.2g", relDev),
 	)
 	res.Tables = append(res.Tables, summary)
+
+	// Churn phase: tighten one task's critical time and apply the delta
+	// through incremental repartitioning — only the affected shards rebuild
+	// and the warm fleet re-certifies in a fraction of the cold rounds.
+	w2 := w.Clone()
+	w2.Tasks[0].CriticalMs *= 0.95
+	warm, _, err := build(opts.ShardWorkers)
+	if err != nil {
+		return nil, err
+	}
+	defer warm.Close()
+	if _, err := warm.Run(); err != nil {
+		return nil, err
+	}
+	rst, err := warm.ReplaceWorkload(w2)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fleet ReplaceWorkload: %w", err)
+	}
+	wres, err := warm.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !wres.Converged {
+		return nil, fmt.Errorf("eval: warm fleet did not re-certify after churn within %d rounds", wres.Rounds)
+	}
+	coldRef, err := func() (fleet.Result, error) {
+		f, err := fleet.New(w2, fleet.Config{
+			Shards: shards, Seed: opts.Seed, ShardWorkers: opts.ShardWorkers,
+			Engine: opts.engineConfig(), WireVerify: opts.Wire == "binary",
+		})
+		if err != nil {
+			return fleet.Result{}, err
+		}
+		defer f.Close()
+		return f.Run()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	relChurn := math.Abs(wres.Utility-coldRef.Utility) / math.Max(1, math.Abs(coldRef.Utility))
+	if relChurn > fleetUtilityTol {
+		return nil, fmt.Errorf("eval: warm post-churn utility %.6g deviates from cold %.6g by %.3g (> %g)",
+			wres.Utility, coldRef.Utility, relChurn, fleetUtilityTol)
+	}
+	churn := &Table{
+		Title:  "Incremental repartitioning after churn (one task's critical time tightened 5%)",
+		Header: []string{"mode", "rebuilt", "reused", "rounds", "local iters"},
+	}
+	churn.AddRow("warm (ReplaceWorkload)",
+		fmt.Sprintf("%d", rst.Rebuilt), fmt.Sprintf("%d", rst.Reused),
+		fmt.Sprintf("%d", wres.Rounds), fmt.Sprintf("%d", wres.LocalIters))
+	churn.AddRow("cold (full rebuild)",
+		fmt.Sprintf("%d", shards), "0",
+		fmt.Sprintf("%d", coldRef.Rounds), fmt.Sprintf("%d", coldRef.LocalIters))
+	res.Tables = append(res.Tables, churn)
 
 	resid := stats.NewSeries("boundary-residual")
 	iters := stats.NewSeries("local-iters-per-round")
@@ -141,8 +211,10 @@ func Fleet(opts Options) (*Result, error) {
 	}
 	res.Series = append(res.Series, resid, iters)
 	res.Notes = append(res.Notes,
-		fmt.Sprintf("repeat run reproduced identical per-shard state hashes across all %d rounds (asserted)", fres.Rounds),
+		fmt.Sprintf("serial repeat (1 sweep worker) reproduced the %d-worker run's per-shard state hashes across all %d rounds (asserted)", fres.ShardWorkers, fres.Rounds),
 		fmt.Sprintf("fleet utility within %.2g of the single-engine KKT fixed point (asserted at %g)", relDev, fleetUtilityTol),
+		fmt.Sprintf("post-churn warm restart rebuilt %d/%d shards and re-certified in %d rounds (cold: %d); utility within %.2g of cold (asserted at %g)",
+			rst.Rebuilt, shards, wres.Rounds, coldRef.Rounds, relChurn, fleetUtilityTol),
 	)
 	return res, nil
 }

@@ -19,14 +19,17 @@ func TestFleetExperimentQuick(t *testing.T) {
 	if res.RoundsToConverge < 1 {
 		t.Errorf("RoundsToConverge %d, want >= 1", res.RoundsToConverge)
 	}
-	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 1 {
-		t.Fatalf("want one summary table with one row, got %+v", res.Tables)
+	if len(res.Tables) != 2 || len(res.Tables[0].Rows) != 1 {
+		t.Fatalf("want summary and churn tables with one summary row, got %+v", res.Tables)
+	}
+	if len(res.Tables[1].Rows) != 2 {
+		t.Fatalf("want warm and cold churn rows, got %+v", res.Tables[1].Rows)
 	}
 	if len(res.Series) != 2 {
 		t.Fatalf("want 2 series, got %d", len(res.Series))
 	}
 	out := res.Render()
-	for _, want := range []string{"boundary", "cut", "per-shard state hashes"} {
+	for _, want := range []string{"boundary", "cut", "per-shard state hashes", "Incremental repartitioning", "warm (ReplaceWorkload)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered report missing %q", want)
 		}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
 
 	"lla/internal/core"
 	"lla/internal/obs"
@@ -25,10 +26,21 @@ type Config struct {
 	BalanceSlack float64
 	Passes       int
 
+	// ShardWorkers is the number of shard sweeps run concurrently per round
+	// (0 = min(Shards, GOMAXPROCS), 1 = serial). Results are bitwise
+	// identical at every setting: sweeps touch disjoint shard state and the
+	// boundary reduction over their results is serial in ascending shard
+	// order, so the schedule cannot reach the arithmetic (SHARDING.md).
+	ShardWorkers int
+
 	// Engine configures every shard engine (zero value = paper defaults).
 	// The fleet is the same optimization as one engine over the full
 	// workload: each shard runs these dynamics on its sub-problem with the
-	// boundary prices pinned.
+	// boundary prices pinned. When ShardWorkers > 1 and Engine.Workers is
+	// left 0, each shard engine gets GOMAXPROCS/ShardWorkers workers instead
+	// of the engine default (GOMAXPROCS) so concurrent sweeps do not
+	// oversubscribe the machine — bitwise-safe, engines are worker-count
+	// invariant.
 	Engine core.Config
 
 	// BoundarySolver selects the aggregator's dynamics over the boundary
@@ -66,7 +78,8 @@ type Config struct {
 	// distributed deployment's frame path.
 	WireVerify bool
 	// RecordHashes captures every shard's FNV-1a state hash after each
-	// round into Result.ShardHashes (the determinism certificate).
+	// round into Result.ShardHashes, and the per-round boundary residual
+	// into Result.BoundaryResiduals (the determinism certificate).
 	RecordHashes bool
 
 	// Observer receives lla_fleet_* metrics and fleet trace events (nil =
@@ -112,6 +125,13 @@ type Result struct {
 	// total shard engine iterations they consumed.
 	Rounds     int
 	LocalIters int
+	// SweptShards and SkippedShards total, over the run's rounds, the shard
+	// sweeps executed and the sweeps skipped because the shard sat at a
+	// proven fixed point under unchanged pinned prices. ShardWorkers is the
+	// resolved sweep concurrency.
+	SweptShards   int
+	SkippedShards int
+	ShardWorkers  int
 	// KKTMax is the worst shard-local KKT residual at exit;
 	// BoundaryResidual the worst boundary residual (relative overload /
 	// relative price movement).
@@ -122,9 +142,21 @@ type Result struct {
 	// BoundaryCount and CutCost describe the partition.
 	BoundaryCount int
 	CutCost       int
-	// ShardHashes[r][s] is shard s's state hash after round r (only with
+	// ShardHashes[r][s] is shard s's state hash after round r, and
+	// BoundaryResiduals[r] the round's boundary residual (only with
 	// Config.RecordHashes).
-	ShardHashes [][]uint64
+	ShardHashes       [][]uint64
+	BoundaryResiduals []float64
+}
+
+// Stats totals the fleet's lifetime round and sweep counters, across Run and
+// Round calls and surviving ReplaceWorkload.
+type Stats struct {
+	// Rounds is the number of aggregator rounds executed so far.
+	Rounds int
+	// Swept and Skipped count shard sweeps executed and skipped.
+	Swept   int
+	Skipped int
 }
 
 // Fleet is the hierarchical runtime: K shard engines under one boundary
@@ -132,16 +164,27 @@ type Result struct {
 // resources (pinned in every shard that touches them) and iterates only
 // that vector; everything else converges inside the shards.
 type Fleet struct {
-	cfg    Config
-	ecfg   core.Config
-	part   *Partition
-	shards []*shardRuntime
+	cfg      Config
+	ecfg     core.Config
+	shardCfg core.Config
+	w        *workload.Workload
+	part     *Partition
+	shards   []*shardRuntime
+
+	// workers is the resolved sweep concurrency; pool the persistent sweep
+	// workers, created lazily on the first round that can use them (so a
+	// fleet that is built and discarded, or runs serial, spawns nothing).
+	workers int
+	pool    *sweepPool
+	due     []*shardRuntime // reusable per-round list of non-skipped shards
 
 	// Boundary state, indexed by boundary slot (aligned with
 	// part.Boundary): resource ID, capacity, the aggregator's price
 	// iterate, the aggregated demand and curvature of the last round, the
 	// externally owned congestion flags, and the last update's relative
-	// per-coordinate movement.
+	// per-coordinate movement. bprev is the update step's scratch copy of
+	// the previous iterate, persistent so steady-state rounds allocate
+	// nothing.
 	bid     []string
 	bavail  []float64
 	bmu     []float64
@@ -149,9 +192,18 @@ type Fleet struct {
 	bcurv   []float64
 	bcong   []bool
 	bmove   []float64
+	bprev   []float64
 
 	bdyn     price.Dynamics
 	needCurv bool
+
+	// stable counts consecutive certified rounds; stats the lifetime
+	// counters; hashLog/residLog the RecordHashes determinism certificate
+	// (Run slices off its own suffix).
+	stable   int
+	stats    Stats
+	hashLog  [][]uint64
+	residLog []float64
 
 	codec *wire.Codec
 	obsv  *obs.Observer
@@ -175,11 +227,26 @@ func New(w *workload.Workload, cfg Config) (*Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{cfg: cfg, ecfg: ecfg, part: part, obsv: cfg.Observer}
+	f := &Fleet{cfg: cfg, ecfg: ecfg, w: w, part: part, obsv: cfg.Observer}
+
+	f.workers = cfg.ShardWorkers
+	if f.workers <= 0 {
+		f.workers = runtime.GOMAXPROCS(0)
+	}
+	if f.workers > part.Shards {
+		f.workers = part.Shards
+	}
+	f.shardCfg = cfg.Engine
+	if f.workers > 1 && f.shardCfg.Workers == 0 {
+		f.shardCfg.Workers = runtime.GOMAXPROCS(0) / f.workers
+		if f.shardCfg.Workers < 1 {
+			f.shardCfg.Workers = 1
+		}
+	}
 
 	for s := 0; s < part.Shards; s++ {
 		sw := subWorkload(w, fmt.Sprintf("%s/shard%d", w.Name, s), part.ShardTasks[s])
-		eng, err := core.NewEngine(sw, cfg.Engine)
+		eng, err := core.NewEngine(sw, f.shardCfg)
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("fleet: building shard %d: %w", s, err)
@@ -195,6 +262,7 @@ func New(w *workload.Workload, cfg Config) (*Fleet, error) {
 	f.bcurv = make([]float64, nb)
 	f.bcong = make([]bool, nb)
 	f.bmove = make([]float64, nb)
+	f.bprev = make([]float64, nb)
 	for b, ri := range part.Boundary {
 		f.bid[b] = p.Resources[ri].ID
 		f.bavail[b] = p.Resources[ri].Availability
@@ -213,6 +281,7 @@ func New(w *workload.Workload, cfg Config) (*Fleet, error) {
 				return nil, fmt.Errorf("fleet: pinning %s on shard %d: %w", id, s.id, err)
 			}
 		}
+		s.initBuffers(f.bid)
 	}
 
 	// The boundary price vector runs the same pluggable dynamics as an
@@ -237,8 +306,25 @@ func New(w *workload.Workload, cfg Config) (*Fleet, error) {
 		f.fm = obs.NewFleetMetrics(f.obsv.Metrics)
 		f.fm.BoundaryResources.Set(float64(nb))
 		f.fm.CutCost.Set(float64(part.CutCost))
+		f.fm.ShardWorkers.Set(float64(f.workers))
 	}
+	// The pool's parked goroutines would otherwise leak if the fleet is
+	// dropped without Close; Close is benign on a live fleet (pools respawn
+	// lazily), so the finalizer is safe even after a full-rebuild swap.
+	runtime.SetFinalizer(f, (*Fleet).Close)
 	return f, nil
+}
+
+// initBuffers sizes the shard's reusable boundary report/pin buffers and
+// stamps the fixed fields.
+func (s *shardRuntime) initBuffers(bid []string) {
+	s.bd = make([]wire.BoundaryDemand, len(s.localRi))
+	s.bp = make([]wire.BoundaryPrice, len(s.localRi))
+	for j, b := range s.slot {
+		s.bd[j].Shard = s.id
+		s.bd[j].Resource = bid[b]
+		s.bp[j].Resource = bid[b]
+	}
 }
 
 // Partition exposes the fleet's task partition.
@@ -247,70 +333,55 @@ func (f *Fleet) Partition() *Partition { return f.part }
 // Shards returns the effective shard count.
 func (f *Fleet) Shards() int { return len(f.shards) }
 
+// ShardWorkers returns the resolved sweep concurrency.
+func (f *Fleet) ShardWorkers() int { return f.workers }
+
+// Stats returns the fleet's lifetime round and sweep counters.
+func (f *Fleet) Stats() Stats { return f.stats }
+
 // Engine returns shard s's engine (read-only use: tests compare shard state
 // against the single-engine reference).
 func (f *Fleet) Engine(s int) *core.Engine { return f.shards[s].eng }
 
-// Close retires every shard engine's worker pool.
+// Close retires the sweep pool and every shard engine's worker pool. The
+// fleet remains usable: pools respawn lazily on the next parallel round.
 func (f *Fleet) Close() {
+	if f.pool != nil {
+		f.pool.close()
+		f.pool = nil
+	}
 	for _, s := range f.shards {
 		s.eng.Close()
 	}
 }
 
 // Run drives aggregator rounds until certification or MaxRounds. Each round
-// sweeps every shard to its local fixed point against the pinned boundary
-// prices, aggregates the boundary demand (and curvature, for Newton),
-// checks the certification, and — when not yet certified — advances the
-// boundary price vector one dynamics step and re-pins it everywhere.
+// sweeps every shard whose pinned prices moved (concurrently, ShardWorkers
+// at a time) to its local fixed point, aggregates the boundary demand (and
+// curvature, for Newton), checks the certification, and — when not yet
+// certified — advances the boundary price vector one dynamics step and
+// re-pins it everywhere.
 func (f *Fleet) Run() (Result, error) {
-	res := Result{BoundaryCount: len(f.bid), CutCost: f.part.CutCost}
-	stable := 0
+	res := Result{BoundaryCount: len(f.bid), CutCost: f.part.CutCost, ShardWorkers: f.workers}
+	f.stable = 0
+	hashStart, residStart := len(f.hashLog), len(f.residLog)
 	for res.Rounds < f.cfg.MaxRounds {
-		round := res.Rounds
-		iters := 0
-		for _, s := range f.shards {
-			s.sweep(f.cfg.LocalIters, f.cfg.LocalFreeze, f.cfg.LocalKKTTol, f.cfg.LocalWindow, f.cfg.Tol)
-			iters += s.iters
-		}
+		info, err := f.round()
 		res.Rounds++
-		res.LocalIters += iters
-
-		if err := f.aggregate(round); err != nil {
+		res.LocalIters += info.iters
+		res.SweptShards += info.swept
+		res.SkippedShards += info.skipped
+		res.KKTMax, res.BoundaryResidual = info.kktMax, info.boundary
+		if err != nil {
 			return res, err
 		}
-		if f.cfg.RecordHashes {
-			hashes := make([]uint64, len(f.shards))
-			for i, s := range f.shards {
-				hashes[i] = s.stateHash()
-			}
-			res.ShardHashes = append(res.ShardHashes, hashes)
-		}
-
-		res.KKTMax, res.BoundaryResidual = f.residuals()
-		feasible := true
-		for _, s := range f.shards {
-			if s.viol >= f.cfg.Tol || s.pathViol >= f.cfg.Tol {
-				feasible = false
-			}
-		}
-		certified := res.KKTMax < f.cfg.KKTTol && feasible && res.BoundaryResidual < f.cfg.BoundaryTol
-
-		f.publish(round, iters, res.BoundaryResidual)
-		if certified {
-			stable++
-			if stable >= f.cfg.Window {
-				res.Converged = true
-				break
-			}
-		} else {
-			stable = 0
-		}
-
-		if err := f.updateBoundary(round); err != nil {
-			return res, err
+		if info.converged {
+			res.Converged = true
+			break
 		}
 	}
+	res.ShardHashes = f.hashLog[hashStart:]
+	res.BoundaryResiduals = f.residLog[residStart:]
 	for _, s := range f.shards {
 		res.Utility += s.eng.Probe().Utility
 	}
@@ -329,11 +400,123 @@ func (f *Fleet) Run() (Result, error) {
 	return res, nil
 }
 
+// Round executes one aggregator round against the current boundary iterate
+// and reports whether the fleet is now certified-stable (the same condition
+// that ends Run). Steady-state rounds — every shard skipped, WireVerify off,
+// RecordHashes off, no Observer — allocate nothing.
+func (f *Fleet) Round() (bool, error) {
+	info, err := f.round()
+	return info.converged, err
+}
+
+// roundInfo is one round's outcome.
+type roundInfo struct {
+	iters   int
+	swept   int
+	skipped int
+	kktMax  float64
+	// boundary is the round's boundary residual.
+	boundary  float64
+	certified bool
+	converged bool
+}
+
+// round runs one aggregator round: decide the active set, sweep it,
+// aggregate, certify, and (unless certified-stable) advance the boundary.
+func (f *Fleet) round() (roundInfo, error) {
+	n := f.stats.Rounds
+	var ri roundInfo
+
+	// Active set: a shard whose last sweep ended at a bitwise
+	// self-fixed-point and whose pinned prices have not moved since (pin
+	// epoch unchanged) would replay a no-op sweep — skip it and reuse its
+	// cached boundary report, which is bit-exact because nothing in the
+	// shard changed.
+	f.due = f.due[:0]
+	for _, s := range f.shards {
+		s.skip = s.frozen && s.eng.PinEpoch() == s.sweptEpoch
+		if s.skip {
+			s.iters = 0
+			ri.skipped++
+		} else {
+			f.due = append(f.due, s)
+			ri.swept++
+		}
+	}
+	if f.workers > 1 && len(f.due) > 1 {
+		if f.pool == nil {
+			f.pool = newSweepPool(f.workers-1, len(f.shards))
+		}
+		f.pool.run(f, f.due)
+	} else {
+		for _, s := range f.due {
+			f.sweepShard(s)
+		}
+	}
+	// Serial reduction in ascending shard order, regardless of the sweep
+	// schedule — the fleet's bitwise worker-count invariance.
+	for _, s := range f.due {
+		ri.iters += s.iters
+	}
+
+	if err := f.aggregate(n); err != nil {
+		return ri, err
+	}
+	if f.cfg.RecordHashes {
+		hashes := make([]uint64, len(f.shards))
+		for i, s := range f.shards {
+			hashes[i] = s.stateHash()
+		}
+		f.hashLog = append(f.hashLog, hashes)
+	}
+
+	ri.kktMax, ri.boundary = f.residuals()
+	if f.cfg.RecordHashes {
+		f.residLog = append(f.residLog, ri.boundary)
+	}
+	feasible := true
+	for _, s := range f.shards {
+		if s.viol >= f.cfg.Tol || s.pathViol >= f.cfg.Tol {
+			feasible = false
+		}
+	}
+	ri.certified = ri.kktMax < f.cfg.KKTTol && feasible && ri.boundary < f.cfg.BoundaryTol
+
+	f.publish(n, &ri)
+	if ri.certified {
+		f.stable++
+	} else {
+		f.stable = 0
+	}
+	ri.converged = f.stable >= f.cfg.Window
+
+	f.stats.Rounds++
+	f.stats.Swept += ri.swept
+	f.stats.Skipped += ri.skipped
+
+	if !ri.converged {
+		if err := f.updateBoundary(n); err != nil {
+			return ri, err
+		}
+	}
+	return ri, nil
+}
+
+// sweepShard runs one shard's sweep and refreshes its boundary report. Safe
+// to run concurrently across distinct shards: it touches only the shard's
+// own engine and buffers.
+func (f *Fleet) sweepShard(s *shardRuntime) {
+	s.sweep(f.cfg.LocalIters, f.cfg.LocalFreeze, f.cfg.LocalKKTTol, f.cfg.LocalWindow, f.cfg.Tol)
+	s.sweptEpoch = s.eng.PinEpoch()
+	s.refreshBoundary(f.needCurv)
+}
+
 // aggregate sums each boundary resource's demand (and curvature) over the
 // shards touching it — in ascending shard order, the serial reduction order
 // a single engine's compiled Subs list induces on a cluster-ordered
-// partition. With WireVerify the per-shard reports round-trip through
-// BOUNDARY frames first and the decoded values are the ones summed.
+// partition. Skipped shards contribute their cached report. With WireVerify
+// the per-shard reports round-trip through BOUNDARY frames first and the
+// decoded values are the ones summed.
 func (f *Fleet) aggregate(round int) error {
 	for b := range f.bdemand {
 		f.bdemand[b], f.bcurv[b] = 0, 0
@@ -342,16 +525,10 @@ func (f *Fleet) aggregate(round int) error {
 		if len(s.localRi) == 0 {
 			continue
 		}
-		entries := make([]wire.BoundaryDemand, len(s.localRi))
-		for j, lri := range s.localRi {
-			entries[j] = wire.BoundaryDemand{
-				Round: round, Shard: s.id, Resource: f.bid[s.slot[j]],
-				Demand: s.eng.ShareSumAt(lri),
-			}
-			if f.needCurv {
-				entries[j].Curvature = s.eng.CurvatureAt(lri)
-			}
+		for j := range s.bd {
+			s.bd[j].Round = round
 		}
+		entries := s.bd
 		if f.codec != nil {
 			decoded, err := roundTripPayload[wire.BoundaryDemand](f.codec,
 				fmt.Sprintf("shard/%d", s.id), "coordinator", wire.KindBoundary, entries)
@@ -363,7 +540,8 @@ func (f *Fleet) aggregate(round int) error {
 		if len(entries) != len(s.slot) {
 			return fmt.Errorf("fleet: shard %d reported %d boundary entries, want %d", s.id, len(entries), len(s.slot))
 		}
-		for j, e := range entries {
+		for j := range entries {
+			e := &entries[j]
 			b := s.slot[j]
 			if e.Resource != f.bid[b] {
 				return fmt.Errorf("fleet: shard %d entry %d names %q, want %q", s.id, j, e.Resource, f.bid[b])
@@ -371,7 +549,7 @@ func (f *Fleet) aggregate(round int) error {
 			f.bdemand[b] += e.Demand
 			f.bcurv[b] += e.Curvature
 		}
-		if f.fm != nil {
+		if f.fm != nil && !s.skip {
 			f.fm.Broadcasts.Inc()
 		}
 	}
@@ -400,8 +578,9 @@ func (f *Fleet) residuals() (kktMax, boundary float64) {
 
 // updateBoundary advances the boundary price vector one dynamics step and
 // pins the new prices (with the globally computed congestion flags) into
-// every shard. With WireVerify each shard's pins arrive through a PRICE_AGG
-// frame round trip.
+// every shard. Pinning an unchanged price does not advance a shard's pin
+// epoch, so shards whose boundary did not move stay skippable. With
+// WireVerify each shard's pins arrive through a PRICE_AGG frame round trip.
 func (f *Fleet) updateBoundary(round int) error {
 	if len(f.bmu) == 0 {
 		return nil
@@ -409,8 +588,7 @@ func (f *Fleet) updateBoundary(round int) error {
 	for b := range f.bcong {
 		f.bcong[b] = f.bdemand[b] > f.bavail[b]*(1+core.CongestionMargin)
 	}
-	prev := make([]float64, len(f.bmu))
-	copy(prev, f.bmu)
+	copy(f.bprev, f.bmu)
 	f.bdyn.Step(price.StepInput{
 		Mu:        f.bmu,
 		ShareSums: f.bdemand,
@@ -419,18 +597,19 @@ func (f *Fleet) updateBoundary(round int) error {
 		Curvature: f.bcurv,
 	})
 	for b := range f.bmu {
-		f.bmove[b] = math.Abs(f.bmu[b]-prev[b]) / math.Max(prev[b], 1)
+		f.bmove[b] = math.Abs(f.bmu[b]-f.bprev[b]) / math.Max(f.bprev[b], 1)
 	}
 
 	for _, s := range f.shards {
 		if len(s.localRi) == 0 {
 			continue
 		}
-		entries := make([]wire.BoundaryPrice, len(s.localRi))
-		for j := range s.localRi {
-			b := s.slot[j]
-			entries[j] = wire.BoundaryPrice{Round: round, Resource: f.bid[b], Mu: f.bmu[b], Congested: f.bcong[b]}
+		for j, b := range s.slot {
+			s.bp[j].Round = round
+			s.bp[j].Mu = f.bmu[b]
+			s.bp[j].Congested = f.bcong[b]
 		}
+		entries := s.bp
 		if f.codec != nil {
 			decoded, err := roundTripPayload[wire.BoundaryPrice](f.codec,
 				"coordinator", fmt.Sprintf("shard/%d", s.id), wire.KindPriceAgg, entries)
@@ -439,7 +618,8 @@ func (f *Fleet) updateBoundary(round int) error {
 			}
 			entries = decoded
 		}
-		for j, e := range entries {
+		for j := range entries {
+			e := &entries[j]
 			if e.Resource != f.bid[s.slot[j]] {
 				return fmt.Errorf("fleet: PRICE_AGG entry %d names %q, want %q", j, e.Resource, f.bid[s.slot[j]])
 			}
@@ -455,12 +635,15 @@ func (f *Fleet) updateBoundary(round int) error {
 }
 
 // publish emits the per-round metrics and trace event.
-func (f *Fleet) publish(round, iters int, boundaryResid float64) {
+func (f *Fleet) publish(round int, ri *roundInfo) {
 	if f.fm != nil {
 		f.fm.Rounds.Inc()
-		f.fm.LocalIters.Add(int64(iters))
+		f.fm.LocalIters.Add(int64(ri.iters))
+		f.fm.ShardSweeps.Add(int64(ri.swept))
+		f.fm.ShardSkips.Add(int64(ri.skipped))
 	}
-	f.obsv.Emit(obs.Event{Kind: obs.EventFleetRound, Round: round, Iteration: iters, Value: boundaryResid})
+	f.obsv.Emit(obs.Event{Kind: obs.EventFleetRound, Round: round, Iteration: ri.iters,
+		Value: ri.boundary, Swept: ri.swept, Skipped: ri.skipped, Workers: f.workers})
 }
 
 // roundTripPayload encodes one message as a binary frame, decodes it back,

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"lla/internal/core"
+)
+
+// TestFleetShardWorkersBitwiseInvariant is the parallel-rounds determinism
+// property: at every sweep concurrency — serial, partial, full, and
+// over-provisioned — the fleet produces bitwise-identical per-round shard
+// hashes, boundary residual series, and round counts. Sweeps touch disjoint
+// shard state and the boundary reduction is serial in ascending shard
+// order, so the schedule cannot reach the arithmetic.
+func TestFleetShardWorkersBitwiseInvariant(t *testing.T) {
+	const shards = 4
+	for _, seed := range []int64{31, 47} {
+		w := clusteredWorkload(t, seed, 0.25)
+		var ref Result
+		for i, workers := range []int{1, 2, shards, shards + 3} {
+			f, err := New(w, Config{Shards: shards, Seed: 5, ShardWorkers: workers, RecordHashes: true})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: New: %v", seed, workers, err)
+			}
+			res, err := f.Run()
+			f.Close()
+			if err != nil {
+				t.Fatalf("seed %d workers %d: Run: %v", seed, workers, err)
+			}
+			if !res.Converged {
+				t.Fatalf("seed %d workers %d: did not converge in %d rounds", seed, workers, res.Rounds)
+			}
+			if i == 0 {
+				ref = res
+				continue
+			}
+			if res.Rounds != ref.Rounds {
+				t.Fatalf("seed %d workers %d: %d rounds, serial took %d", seed, workers, res.Rounds, ref.Rounds)
+			}
+			if !reflect.DeepEqual(res.ShardHashes, ref.ShardHashes) {
+				t.Fatalf("seed %d workers %d: shard hashes diverged from serial", seed, workers)
+			}
+			if !reflect.DeepEqual(res.BoundaryResiduals, ref.BoundaryResiduals) {
+				t.Fatalf("seed %d workers %d: boundary residual series diverged from serial", seed, workers)
+			}
+			if res.LocalIters != ref.LocalIters {
+				t.Fatalf("seed %d workers %d: %d local iters, serial %d", seed, workers, res.LocalIters, ref.LocalIters)
+			}
+		}
+	}
+}
+
+// TestFleetSkipsFrozenShards: once Run certifies, the shards sit at proven
+// fixed points under unchanged pins, so further rounds skip every sweep.
+func TestFleetSkipsFrozenShards(t *testing.T) {
+	w := clusteredWorkload(t, 17, 0.25)
+	f, err := New(w, Config{Shards: 4, Seed: 1, LocalFreeze: true, LocalIters: 5000})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d rounds", res.Rounds)
+	}
+	if res.SweptShards == 0 {
+		t.Fatal("run reported zero swept shards")
+	}
+	before := f.Stats()
+	if before.Swept+before.Skipped != before.Rounds*f.Shards() {
+		t.Fatalf("stats don't tally: %+v over %d shards", before, f.Shards())
+	}
+	for i := 0; i < 3; i++ {
+		conv, err := f.Round()
+		if err != nil {
+			t.Fatalf("Round: %v", err)
+		}
+		if !conv {
+			t.Fatalf("round %d: certified fleet reported not converged", i)
+		}
+	}
+	after := f.Stats()
+	if got := after.Skipped - before.Skipped; got != 3*f.Shards() {
+		t.Fatalf("steady-state rounds skipped %d sweeps, want %d", got, 3*f.Shards())
+	}
+	if after.Swept != before.Swept {
+		t.Fatalf("steady-state rounds executed %d sweeps, want 0", after.Swept-before.Swept)
+	}
+}
+
+// TestFleetSkippedRoundZeroAllocs: a steady-state round — every shard
+// skipped, no wire verify, no hash recording, no observer — must allocate
+// nothing: cached demand reports and persistent boundary buffers carry the
+// whole round.
+func TestFleetSkippedRoundZeroAllocs(t *testing.T) {
+	w := clusteredWorkload(t, 17, 0.25)
+	f, err := New(w, Config{Shards: 4, Seed: 1, ShardWorkers: 1, Engine: core.Config{Workers: 1},
+		LocalFreeze: true, LocalIters: 5000})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d rounds", res.Rounds)
+	}
+	var roundErr error
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := f.Round(); err != nil {
+			roundErr = err
+		}
+	})
+	if roundErr != nil {
+		t.Fatalf("Round: %v", roundErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state round allocates %v times, want 0", allocs)
+	}
+	if st := f.Stats(); st.Skipped == 0 {
+		t.Fatal("steady-state rounds did not skip")
+	}
+}

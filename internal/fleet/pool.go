@@ -1,0 +1,63 @@
+package fleet
+
+import "sync"
+
+// sweepPool runs shard sweeps concurrently on a persistent set of parked
+// goroutines, mirroring the core engine's workerPool idiom: workers block on
+// a buffered channel, a job send is a struct copy (no allocation), and the
+// caller helps drain the queue instead of idling. Determinism does not depend
+// on scheduling: each sweep reads and writes only its own shard's engine and
+// buffers, and the boundary reduction over the results happens afterwards,
+// serially, in ascending shard order (see Fleet.round).
+type sweepPool struct {
+	jobs chan sweepJob
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// sweepJob is one shard sweep: the fleet supplies the sweep parameters, the
+// shard the state to advance.
+type sweepJob struct {
+	f *Fleet
+	s *shardRuntime
+}
+
+// newSweepPool parks extra worker goroutines; cap sizes the job queue so
+// enqueueing a full round of sweeps never blocks the caller.
+func newSweepPool(extra, cap int) *sweepPool {
+	p := &sweepPool{jobs: make(chan sweepJob, cap)}
+	for i := 0; i < extra; i++ {
+		go func() {
+			for j := range p.jobs {
+				j.f.sweepShard(j.s)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run sweeps every due shard, using the caller as one more worker, and
+// returns once all sweeps completed.
+func (p *sweepPool) run(f *Fleet, due []*shardRuntime) {
+	p.wg.Add(len(due))
+	for _, s := range due {
+		p.jobs <- sweepJob{f: f, s: s}
+	}
+	for {
+		select {
+		case j := <-p.jobs:
+			j.f.sweepShard(j.s)
+			p.wg.Done()
+		default:
+			p.wg.Wait()
+			return
+		}
+	}
+}
+
+// close releases the parked workers. Safe to call multiple times; only call
+// with no run in flight.
+func (p *sweepPool) close() {
+	p.once.Do(func() { close(p.jobs) })
+}

@@ -5,6 +5,7 @@ import (
 
 	"lla/internal/core"
 	"lla/internal/utility"
+	"lla/internal/wire"
 	"lla/internal/workload"
 )
 
@@ -25,6 +26,40 @@ type shardRuntime struct {
 	kktMax   float64 // shard-local KKT residual after the last sweep
 	viol     float64 // worst unpinned resource violation (absolute)
 	pathViol float64 // worst path violation fraction
+
+	// Shard-level active-set state (SHARDING.md): frozen records that the
+	// last sweep exited at a bitwise self-fixed-point (a Step that executed
+	// zero solves and repriced zero resources), sweptEpoch the engine's pin
+	// epoch when that sweep ended. While both hold — no pinned boundary
+	// price has moved since a proven fixed point — re-sweeping would be a
+	// bitwise no-op, so the round skips the shard entirely. skip caches the
+	// current round's decision.
+	frozen     bool
+	sweptEpoch uint64
+	skip       bool
+
+	// bd and bp are the shard's reusable boundary report/pin buffers
+	// (demand+curvature out, price+congestion in). Resource and Shard
+	// fields are fixed at (re)build; per-round refreshes touch only the
+	// varying fields, so a steady-state round allocates nothing. On a
+	// skipped round bd is reused as-is: the shard's state is bitwise
+	// unchanged, so the cached demand and curvature are bit-exact.
+	bd []wire.BoundaryDemand
+	bp []wire.BoundaryPrice
+}
+
+// refreshBoundary refreshes the shard's boundary demand report from the
+// engine's post-sweep state. Curvature is recomputed only when the boundary
+// solver consumes it (O(degree) per resource). Runs inside the sweep job —
+// it touches only this shard's engine and buffers, so concurrent shard
+// sweeps stay race-free.
+func (s *shardRuntime) refreshBoundary(needCurv bool) {
+	for j, lri := range s.localRi {
+		s.bd[j].Demand = s.eng.ShareSumAt(lri)
+		if needCurv {
+			s.bd[j].Curvature = s.eng.CurvatureAt(lri)
+		}
+	}
 }
 
 // subWorkload extracts the tasks of one shard, keeping task and resource
@@ -68,6 +103,7 @@ func (s *shardRuntime) sweep(maxIters int, freeze bool, kktTol float64, window i
 	}
 	stable := 0
 	s.iters = 0
+	s.frozen = false
 	sparse := s.eng.SparseEnabled()
 	for s.iters < maxIters {
 		var before core.SparseStats
@@ -80,6 +116,7 @@ func (s *shardRuntime) sweep(maxIters int, freeze bool, kktTol float64, window i
 			after := s.eng.SparseStats()
 			if after.ExecutedSolves == before.ExecutedSolves &&
 				after.RepricedResources == before.RepricedResources {
+				s.frozen = true
 				break // bitwise frozen: replaying the Step changes nothing
 			}
 		}

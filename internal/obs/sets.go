@@ -297,6 +297,20 @@ type FleetMetrics struct {
 	// Converged is 1 once the KKT stopping rule has certified the global
 	// fixed point, else 0.
 	Converged *Gauge
+	// ShardSweeps and ShardSkips count per-shard sweep decisions: a sweep
+	// runs the shard engine's local iteration; a skip reuses the shard's
+	// frozen state because its pinned boundary prices did not move since its
+	// last sweep ended at a self-fixed-point (the shard-level active set).
+	ShardSweeps *Counter
+	ShardSkips  *Counter
+	// ShardWorkers is the resolved sweep concurrency (fleet.Config
+	// .ShardWorkers after defaulting).
+	ShardWorkers *Gauge
+	// ShardRebuilds and ShardReuses count Fleet.ReplaceWorkload decisions:
+	// shards rebuilt (warm-started via state carry-over) versus shards whose
+	// engines were left untouched by the churn delta.
+	ShardRebuilds *Counter
+	ShardReuses   *Counter
 }
 
 // NewFleetMetrics registers the fleet metric set on r.
@@ -310,6 +324,11 @@ func NewFleetMetrics(r *Registry) *FleetMetrics {
 		BoundaryResidual:  r.Gauge("lla_fleet_boundary_residual", "Worst boundary residual of the last round."),
 		KKTMax:            r.Gauge("lla_fleet_kkt_residual_max", "Worst shard-local KKT residual of the last round."),
 		Converged:         r.Gauge("lla_fleet_converged", "1 once the global fixed point is certified, else 0."),
+		ShardSweeps:       r.Counter("lla_fleet_shard_sweeps_total", "Shard sweeps executed by aggregator rounds."),
+		ShardSkips:        r.Counter("lla_fleet_shard_skips_total", "Shard sweeps skipped by the shard-level active set."),
+		ShardWorkers:      r.Gauge("lla_fleet_shard_workers", "Resolved concurrent shard-sweep worker count."),
+		ShardRebuilds:     r.Counter("lla_fleet_shard_rebuilds_total", "Shards rebuilt (warm) by ReplaceWorkload churn deltas."),
+		ShardReuses:       r.Counter("lla_fleet_shard_reuses_total", "Shards left untouched by ReplaceWorkload churn deltas."),
 	}
 }
 

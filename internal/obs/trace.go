@@ -44,8 +44,15 @@ const (
 	EventEpochBump = "epoch_bump"
 	// EventFleetRound fires per completed aggregator round of the sharded
 	// fleet; Round is the aggregator round, Iteration the shard iterations
-	// it consumed, Value the worst boundary residual after the round.
+	// it consumed, Value the worst boundary residual after the round, and
+	// Swept/Skipped/Workers describe the round's shard-level active set and
+	// sweep concurrency.
 	EventFleetRound = "fleet_round"
+	// EventFleetRebuild fires when Fleet.ReplaceWorkload applies a churn
+	// delta; Iteration is the number of shards rebuilt, Value the number
+	// reused untouched, and Detail "full" when the delta forced a full
+	// repartition (else "incremental").
+	EventFleetRebuild = "fleet_rebuild"
 	// EventFleetConverged fires when the fleet aggregator certifies the
 	// global fixed point; Round is the certifying round, Value the worst
 	// shard-local KKT residual.
@@ -74,6 +81,12 @@ type Event struct {
 	// Value carries the kind's scalar payload (e.g. the converged utility,
 	// or a workload change's new value).
 	Value float64 `json:"value,omitempty"`
+	// Swept, Skipped and Workers carry fleet_round's shard-level active-set
+	// tally: sweeps executed, sweeps skipped at a proven fixed point, and
+	// the concurrent sweep worker count (SHARDING.md).
+	Swept   int `json:"swept,omitempty"`
+	Skipped int `json:"skipped,omitempty"`
+	Workers int `json:"workers,omitempty"`
 }
 
 // stamp fills the emission time if the emitter did not.

@@ -5,8 +5,11 @@
 # rounds-to-converge than the reference gradient, a warm checkpoint
 # restart does not re-converge in fewer rounds than a cold one, the
 # binary wire frame is not at least 10x smaller than its JSON equivalent,
-# the million-subtask sharded fleet fails to certify convergence, or the
-# fleet's boundary rounds exceed twice the single engine's KKT rounds.
+# the million-subtask sharded fleet fails to certify convergence, the
+# fleet's boundary rounds exceed twice the single engine's KKT rounds, the
+# parallel 1m fleet run diverges from the serial round count (or, on >= 4
+# CPUs, fails to halve its wall-clock), or a previously gated benchmark
+# disappears from the report.
 #
 #   scripts/bench.sh [output.json]
 #   BENCHTIME=200ms scripts/bench.sh     # quicker smoke run (CI)
@@ -16,18 +19,45 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_core.json}"
 benchtime="${BENCHTIME:-1s}"
 
+# Pin GOMAXPROCS explicitly for every benchmark invocation: the fleet
+# parallel-vs-serial comparison is only meaningful when both runs see the
+# same, known CPU budget (the 1m benchmarks record it as the cpus metric).
+# Honor an externally pinned value; default to the machine width.
+: "${GOMAXPROCS:=$(nproc)}"
+export GOMAXPROCS
+
 # The raw test2json stream lands in a temp file so a failed gate can still
 # print what ran; the trap reclaims it on every exit path.
 raw="$(mktemp -t bench-raw.XXXXXX)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge|BenchmarkRecoveryRounds|BenchmarkWireCodec$|BenchmarkFleetConverge' \
+  -bench 'BenchmarkEngineStepConverged|BenchmarkFig6ScalabilitySparse|BenchmarkEngineStep$|BenchmarkEngineStepLarge$|BenchmarkRoundsToConverge|BenchmarkRecoveryRounds|BenchmarkWireCodec$' \
   -benchtime "$benchtime" -json . > "$raw"
+
+# The fleet benchmarks run in their own pinned invocation: the serial and
+# parallel 1m runs must not share a process with the engine microbenchmarks
+# (GC pressure from earlier runs would skew the wall-clock ratio the
+# parallel gate compares). The stream is concatenated into the same raw
+# file; benchparse parses both invocations as one report.
+go test -run '^$' \
+  -bench 'BenchmarkFleetConverge' \
+  -benchtime "$benchtime" -json . >> "$raw"
+
+# Gate against the committed baseline too: a gated benchmark that vanishes
+# from the report (renamed, regex narrowed) must fail loudly, not turn its
+# gate into a silent no-op. The baseline is the previous $out, if any.
+prev_args=()
+if [[ -s "$out" ]]; then
+  prev="$(mktemp -t bench-prev.XXXXXX)"
+  trap 'rm -f "$raw" "$prev"' EXIT
+  cp "$out" "$prev"
+  prev_args=(-prev "$prev")
+fi
 
 # benchparse writes the report before running its gates, so on a gate
 # failure $out still holds every parsed metric — print it as the summary.
-if ! go run ./scripts/benchparse -o "$out" -check < "$raw"; then
+if ! go run ./scripts/benchparse -o "$out" -check "${prev_args[@]}" < "$raw"; then
   echo "bench.sh: benchparse gate failed; parsed benchmark report follows" >&2
   cat "$out" >&2 || true
   exit 1

@@ -43,6 +43,8 @@ func main() {
 	out := flag.String("o", "BENCH_core.json", "output path for the parsed benchmark report")
 	check := flag.Bool("check", false,
 		"fail unless BenchmarkEngineStepConverged/sparse ns/op is below .../dense")
+	prev := flag.String("prev", "",
+		"path to a prior report: fail, naming them, if gated benchmarks it contains are missing from this run")
 	flag.Parse()
 
 	recs, err := parse(os.Stdin)
@@ -85,6 +87,16 @@ func main() {
 			os.Exit(1)
 		}
 		if err := checkFleetConverge(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
+			os.Exit(1)
+		}
+		if err := checkFleetParallel(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
+			os.Exit(1)
+		}
+	}
+	if *prev != "" {
+		if err := checkNoGatedLoss(*prev, recs); err != nil {
 			fmt.Fprintln(os.Stderr, "benchparse: CHECK FAILED:", err)
 			os.Exit(1)
 		}
@@ -333,6 +345,118 @@ func checkFleetConverge(recs []record) error {
 				rounds, single)
 		}
 	}
+	return nil
+}
+
+// checkFleetParallel enforces the parallel-rounds gate (SHARDING.md):
+// BenchmarkFleetConverge/1m-parallel (16 concurrent shard sweeps) must
+// certify in exactly the serial run's round count — parallel sweeps leave
+// no scheduling fingerprint — and, when the run had at least 4 CPUs, finish
+// in at most half the serial wall-clock. Below 4 CPUs the wall-clock half
+// of the gate is SKIPPED with an explicit message (a 1-CPU runner cannot
+// speed up by running sweeps concurrently); it never silently passes. A
+// report carrying one of the pair but not the other is an error.
+func checkFleetParallel(recs []record) error {
+	var serial, parallel *record
+	for i := range recs {
+		switch trimCPUSuffix(recs[i].Name) {
+		case "BenchmarkFleetConverge/1m":
+			serial = &recs[i]
+		case "BenchmarkFleetConverge/1m-parallel":
+			parallel = &recs[i]
+		}
+	}
+	if serial == nil && parallel == nil {
+		return nil
+	}
+	if serial == nil || parallel == nil {
+		return fmt.Errorf("fleet parallel benchmarks incomplete: 1m present=%v, 1m-parallel present=%v (need both)",
+			serial != nil, parallel != nil)
+	}
+	if conv := parallel.Metrics["converged"]; conv != 1 {
+		return fmt.Errorf("the parallel million-subtask fleet run did not certify convergence (converged=%.0f)", conv)
+	}
+	sr, pr := serial.Metrics["rounds"], parallel.Metrics["rounds"]
+	if sr != pr {
+		return fmt.Errorf("parallel fleet certified in %.0f rounds but serial in %.0f — parallel sweeps changed the trajectory", pr, sr)
+	}
+	cpus, ok := parallel.Metrics["cpus"]
+	if !ok {
+		return fmt.Errorf("%s reported no cpus metric", parallel.Name)
+	}
+	if cpus < 4 {
+		fmt.Fprintf(os.Stderr,
+			"benchparse: check SKIPPED: fleet parallel wall-clock gate needs >= 4 CPUs, run had %.0f (round-count equality still enforced: %.0f rounds)\n",
+			cpus, pr)
+		return nil
+	}
+	sn, pn := serial.Metrics["ns/op"], parallel.Metrics["ns/op"]
+	if pn > 0.5*sn {
+		return fmt.Errorf("parallel 1m fleet (%.0f ns/op) is not <= 0.5x the serial run (%.0f ns/op) on %.0f CPUs",
+			pn, sn, cpus)
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: check passed: parallel 1m fleet %.2fx faster than serial, same %.0f rounds\n",
+		sn/pn, pr)
+	return nil
+}
+
+// gatedPrefixes lists the benchmark families the -check gates consume. A
+// report that silently drops one of these (a renamed benchmark, a narrowed
+// bench regex) would turn its gate into a no-op — checkNoGatedLoss makes
+// that loud instead.
+var gatedPrefixes = []string{
+	"BenchmarkEngineStepConverged/",
+	"BenchmarkRoundsToConverge/",
+	"BenchmarkRecoveryRounds/",
+	"BenchmarkWireCodec",
+	"BenchmarkFleetConverge/",
+}
+
+// isGated reports whether a (GOMAXPROCS-suffix-stripped) benchmark name
+// belongs to a gated family.
+func isGated(name string) bool {
+	for _, p := range gatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNoGatedLoss fails, naming each one, when a gated benchmark present
+// in the previous report is missing from the current run. Names are
+// compared with the -GOMAXPROCS suffix stripped so a runner-width change is
+// not a diff. A missing previous report skips the check (first run).
+func checkNoGatedLoss(prevPath string, recs []record) error {
+	raw, err := os.ReadFile(prevPath)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "benchparse: no previous report at %s, skipping gated-loss check\n", prevPath)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("reading previous report: %w", err)
+	}
+	var prev report
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return fmt.Errorf("parsing previous report %s: %w", prevPath, err)
+	}
+	have := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		have[trimCPUSuffix(r.Name)] = true
+	}
+	var missing []string
+	for _, r := range prev.Benchmarks {
+		name := trimCPUSuffix(r.Name)
+		if isGated(name) && !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("gated benchmark(s) present in %s but missing from this run: %s — a gate just became a no-op",
+			prevPath, strings.Join(missing, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: check passed: every gated benchmark from %s is present\n", prevPath)
 	return nil
 }
 
